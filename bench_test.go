@@ -1,0 +1,308 @@
+// Benchmark harness: one benchmark per paper table/figure (each
+// regenerates the corresponding experiment) plus micro-benchmarks of the
+// core substrates. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-figure benchmarks run the suite at scale 1 so a full -bench
+// pass stays in CI territory; `cmd/fitsbench` runs the full-scale
+// version and prints the tables.
+package powerfits
+
+import (
+	"sync"
+	"testing"
+
+	"powerfits/internal/cache"
+	"powerfits/internal/cpu"
+	"powerfits/internal/experiments"
+	"powerfits/internal/isa/arm"
+	"powerfits/internal/kernels"
+	"powerfits/internal/power"
+	"powerfits/internal/profile"
+	"powerfits/internal/sim"
+	"powerfits/internal/synth"
+	"powerfits/internal/translate"
+)
+
+// ---- Shared preparation (synthesis is deterministic; prepare once) ----
+
+var (
+	prepOnce   sync.Once
+	prepSetups []*sim.Setup
+	prepErr    error
+)
+
+func preparedSetups(b *testing.B) []*sim.Setup {
+	b.Helper()
+	prepOnce.Do(func() {
+		for _, k := range kernels.All() {
+			s, err := sim.Prepare(k, 1, synth.DefaultOptions())
+			if err != nil {
+				prepErr = err
+				return
+			}
+			prepSetups = append(prepSetups, s)
+		}
+	})
+	if prepErr != nil {
+		b.Fatal(prepErr)
+	}
+	return prepSetups
+}
+
+// runConfigs re-measures the timing/power results the figure needs.
+func runConfigs(b *testing.B, setups []*sim.Setup, cfgs ...sim.Config) *experiments.Suite {
+	b.Helper()
+	suite := &experiments.Suite{
+		Setups:  setups,
+		Results: make(map[string]map[string]*sim.Result),
+		Cal:     power.DefaultCalibration(),
+		Chip:    power.DefaultChipModel(),
+	}
+	for _, s := range setups {
+		m := make(map[string]*sim.Result, len(cfgs))
+		for _, cfg := range cfgs {
+			r, err := s.Run(cfg, suite.Cal)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m[cfg.Name] = r
+		}
+		suite.Results[s.Kernel.Name] = m
+	}
+	return suite
+}
+
+func allConfigs() []sim.Config { return sim.Configs }
+
+func vsBaseline() []sim.Config {
+	return []sim.Config{sim.ARM16, sim.ARM8, sim.FITS16, sim.FITS8}
+}
+
+// benchFigure regenerates one figure per iteration.
+func benchFigure(b *testing.B, cfgs []sim.Config, table func(*experiments.Suite) *experiments.Table) {
+	setups := preparedSetups(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		suite := runConfigs(b, setups, cfgs...)
+		t := table(suite)
+		// Per-benchmark figures carry one row per kernel; summary
+		// tables (the headline) carry a single suite row.
+		if len(t.Rows) != len(setups) && len(t.Rows) != 1 {
+			b.Fatalf("figure %s covered %d/%d kernels", t.ID, len(t.Rows), len(setups))
+		}
+	}
+}
+
+// ---- One benchmark per paper figure ----
+
+// BenchmarkFig03StaticMapping regenerates Figure 3 (static 1:1 mapping),
+// re-running the ARM→FITS translation each iteration.
+func BenchmarkFig03StaticMapping(b *testing.B) {
+	setups := preparedSetups(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range setups {
+			res, err := translate.Translate(s.Prog, s.Synth.Spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r := res.StaticMappingRate(); r < 0.8 {
+				b.Fatalf("%s static mapping %.2f", s.Kernel.Name, r)
+			}
+		}
+	}
+}
+
+// BenchmarkFig04DynamicMapping regenerates Figure 4 (dynamic mapping),
+// re-profiling each kernel.
+func BenchmarkFig04DynamicMapping(b *testing.B) {
+	setups := preparedSetups(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range setups {
+			prof, err := profile.Collect(s.Prog, 2e9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r := s.Fits.DynamicMappingRate(prof.Dyn); r < 0.8 {
+				b.Fatalf("%s dynamic mapping %.2f", s.Kernel.Name, r)
+			}
+		}
+	}
+}
+
+// BenchmarkFig05CodeSize regenerates Figure 5 (ARM vs THUMB vs FITS
+// code size), re-running both 16-bit encoders.
+func BenchmarkFig05CodeSize(b *testing.B) {
+	setups := preparedSetups(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range setups {
+			ts, err := ThumbSize(s.Prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := translate.Translate(s.Prog, s.Synth.Spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Image.Size() >= s.ArmImage.Size() || ts.TotalBytes() <= 0 {
+				b.Fatal("size ordering broken")
+			}
+		}
+	}
+}
+
+// BenchmarkFig06PowerBreakdown regenerates Figure 6 (per-configuration
+// power breakdown).
+func BenchmarkFig06PowerBreakdown(b *testing.B) {
+	benchFigure(b, allConfigs(), func(s *experiments.Suite) *experiments.Table {
+		return s.Fig6(sim.ARM16)
+	})
+}
+
+// BenchmarkFig07SwitchingSaving regenerates Figure 7.
+func BenchmarkFig07SwitchingSaving(b *testing.B) {
+	benchFigure(b, vsBaseline(), (*experiments.Suite).Fig7)
+}
+
+// BenchmarkFig08InternalSaving regenerates Figure 8.
+func BenchmarkFig08InternalSaving(b *testing.B) {
+	benchFigure(b, vsBaseline(), (*experiments.Suite).Fig8)
+}
+
+// BenchmarkFig09LeakageSaving regenerates Figure 9.
+func BenchmarkFig09LeakageSaving(b *testing.B) {
+	benchFigure(b, vsBaseline(), (*experiments.Suite).Fig9)
+}
+
+// BenchmarkFig10PeakSaving regenerates Figure 10.
+func BenchmarkFig10PeakSaving(b *testing.B) {
+	benchFigure(b, vsBaseline(), (*experiments.Suite).Fig10)
+}
+
+// BenchmarkFig11TotalCacheSaving regenerates Figure 11.
+func BenchmarkFig11TotalCacheSaving(b *testing.B) {
+	benchFigure(b, vsBaseline(), (*experiments.Suite).Fig11)
+}
+
+// BenchmarkFig12ChipSaving regenerates Figure 12.
+func BenchmarkFig12ChipSaving(b *testing.B) {
+	benchFigure(b, vsBaseline(), (*experiments.Suite).Fig12)
+}
+
+// BenchmarkFig13MissRate regenerates Figure 13.
+func BenchmarkFig13MissRate(b *testing.B) {
+	benchFigure(b, allConfigs(), (*experiments.Suite).Fig13)
+}
+
+// BenchmarkFig14IPC regenerates Figure 14.
+func BenchmarkFig14IPC(b *testing.B) {
+	benchFigure(b, allConfigs(), (*experiments.Suite).Fig14)
+}
+
+// BenchmarkHeadline regenerates the abstract's headline averages.
+func BenchmarkHeadline(b *testing.B) {
+	benchFigure(b, vsBaseline(), (*experiments.Suite).Headline)
+}
+
+// ---- Substrate micro-benchmarks ----
+
+// BenchmarkFunctionalSimulator measures raw interpreter throughput.
+func BenchmarkFunctionalSimulator(b *testing.B) {
+	p := kernels.MustGet("crc32").Build(1)
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		m, err := cpu.RunFunctional(p, 2e9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs = m.InstrCount
+	}
+	b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkTimingPipeline measures the cycle-accurate pipeline with
+// cache and power models attached.
+func BenchmarkTimingPipeline(b *testing.B) {
+	s, err := sim.Prepare(kernels.MustGet("crc32"), 1, synth.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cal := power.DefaultCalibration()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(sim.FITS8, cal); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSynthesize measures the full instruction-set synthesis flow
+// (k-search, SIS closure, AIS fill, dictionary assignment).
+func BenchmarkSynthesize(b *testing.B) {
+	p := kernels.MustGet("gsm").Build(1)
+	prof, err := profile.Collect(p, 2e9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Synthesize(prof, synth.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTranslate measures ARM→FITS translation and layout.
+func BenchmarkTranslate(b *testing.B) {
+	p := kernels.MustGet("jpeg").Build(1)
+	prof, err := profile.Collect(p, 2e9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	syn, err := synth.Synthesize(prof, synth.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := translate.Translate(p, syn.Spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkARMAssemble measures the baseline 32-bit encoder.
+func BenchmarkARMAssemble(b *testing.B) {
+	p := kernels.MustGet("jpeg").Build(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := arm.Assemble(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheAccess measures the set-associative LRU cache.
+func BenchmarkCacheAccess(b *testing.B) {
+	c := cache.MustNew(cache.SA1100ICache())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint32(i*4) & 0xFFFF)
+	}
+}
+
+// BenchmarkPowerMeter measures the per-access/per-cycle energy model.
+func BenchmarkPowerMeter(b *testing.B) {
+	m := power.MustNewMeter(cache.SA1100ICache(), power.DefaultCalibration())
+	block := []byte{1, 2, 3, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Access(uint32(i*4), block, false)
+		m.Tick()
+	}
+}

@@ -1,0 +1,110 @@
+// Command fitsbench regenerates the paper's evaluation: it prepares and
+// simulates the 21-kernel suite under the four processor configurations
+// (ARM16, ARM8, FITS16, FITS8) and prints the table behind every figure
+// (Figures 3–14), the abstract's headline averages, and the synthesis
+// ablations.
+//
+// Usage:
+//
+//	fitsbench                 # every figure at default scale
+//	fitsbench -exp fig11      # one figure
+//	fitsbench -exp ablations  # the four synthesis ablations
+//	fitsbench -scale 1 -q     # quick run, no progress lines
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"powerfits/internal/experiments"
+)
+
+func main() {
+	var (
+		scale = flag.Int("scale", 0, "workload scale (0 = per-kernel default)")
+		exp   = flag.String("exp", "all", "experiment id: all, figs, fig3..fig14, headline, ablations, ablate-opwidth, ablate-dict, ablate-regs, ablate-mode")
+		quiet = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	progress := func(line string) { fmt.Fprintln(os.Stderr, line) }
+	if *quiet {
+		progress = nil
+	}
+
+	want := strings.ToLower(*exp)
+	var tables []*experiments.Table
+
+	needSuite := true
+	switch want {
+	case "ablations", "ablate-opwidth", "ablate-dict", "ablate-regs", "ablate-mode",
+		"extensions", "ext-activity", "ext-geometry", "ext-energy", "ext-traffic", "ext-cpi":
+		needSuite = false
+	}
+
+	if needSuite {
+		suite, err := experiments.Run(*scale, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fitsbench:", err)
+			os.Exit(1)
+		}
+		for _, t := range suite.AllFigures() {
+			if want == "all" || want == "figs" || want == t.ID || strings.HasPrefix(t.ID, want) {
+				tables = append(tables, t)
+			}
+		}
+	}
+
+	ext := func(f func(int) (*experiments.Table, error)) *experiments.Table {
+		t, err := f(1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fitsbench:", err)
+			os.Exit(1)
+		}
+		return t
+	}
+	switch want {
+	case "all", "ablations":
+		tables = append(tables, experiments.AblateOpcodeWidth()...)
+		tables = append(tables, experiments.AblateDict()...)
+		tables = append(tables, experiments.AblateWindow()...)
+		tables = append(tables, experiments.AblateModes()...)
+		if want == "all" {
+			tables = append(tables, ext(experiments.ExtSwitchingModel),
+				ext(experiments.ExtGeometry), ext(experiments.ExtEnergy),
+				ext(experiments.ExtTraffic), ext(experiments.ExtCPI))
+		}
+	case "ablate-opwidth":
+		tables = experiments.AblateOpcodeWidth()
+	case "ablate-dict":
+		tables = experiments.AblateDict()
+	case "ablate-regs":
+		tables = experiments.AblateWindow()
+	case "ablate-mode":
+		tables = experiments.AblateModes()
+	case "extensions":
+		tables = []*experiments.Table{ext(experiments.ExtSwitchingModel),
+			ext(experiments.ExtGeometry), ext(experiments.ExtEnergy),
+			ext(experiments.ExtTraffic), ext(experiments.ExtCPI)}
+	case "ext-activity":
+		tables = []*experiments.Table{ext(experiments.ExtSwitchingModel)}
+	case "ext-geometry":
+		tables = []*experiments.Table{ext(experiments.ExtGeometry)}
+	case "ext-energy":
+		tables = []*experiments.Table{ext(experiments.ExtEnergy)}
+	case "ext-traffic":
+		tables = []*experiments.Table{ext(experiments.ExtTraffic)}
+	case "ext-cpi":
+		tables = []*experiments.Table{ext(experiments.ExtCPI)}
+	}
+
+	if len(tables) == 0 {
+		fmt.Fprintf(os.Stderr, "fitsbench: no experiment matches %q\n", *exp)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		t.Render(os.Stdout)
+	}
+}

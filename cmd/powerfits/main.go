@@ -1,0 +1,283 @@
+// Command powerfits drives the FITS design flow over one benchmark:
+// inspect the suite, synthesize an instruction set, disassemble the ARM
+// and FITS binaries, and run timing/power simulations.
+//
+// Usage:
+//
+//	powerfits list
+//	powerfits info   -kernel crc32
+//	powerfits isa    -kernel crc32           # the synthesized ISA (cf. paper Fig. 2)
+//	powerfits disasm -kernel crc32 [-fits]
+//	powerfits dump   -kernel crc32           # assembly text (re-assembles with `asm`)
+//	powerfits run    -kernel crc32 [-config FITS8] [-scale N]
+//	powerfits asm    -file prog.s [-config FITS8]   # assemble + full flow + run
+//	powerfits sweep  -kernel jpeg                   # trace-driven cache-size sweep
+//	powerfits config -kernel crc32 > crc32.cfg      # the decoder-configuration image
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"powerfits/internal/asm"
+	"powerfits/internal/cpu"
+	"powerfits/internal/isa/fits"
+	"powerfits/internal/kernels"
+	"powerfits/internal/power"
+	"powerfits/internal/program"
+	"powerfits/internal/sim"
+	"powerfits/internal/synth"
+	"powerfits/internal/trace"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: powerfits <list|info|isa|disasm|dump|run|asm|sweep|config> [flags]")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	kernel := fs.String("kernel", "crc32", "benchmark name (see `powerfits list`)")
+	scale := fs.Int("scale", 1, "workload scale (0 = kernel default)")
+	cfgName := fs.String("config", "FITS8", "configuration: ARM16, ARM8, FITS16, FITS8")
+	fitsSide := fs.Bool("fits", false, "disassemble the FITS translation instead of ARM")
+	file := fs.String("file", "", "assembly source file (asm command)")
+	_ = fs.Parse(os.Args[2:])
+
+	if cmd == "list" {
+		fmt.Printf("%-18s %-12s %s\n", "kernel", "group", "default scale")
+		for _, k := range kernels.All() {
+			fmt.Printf("%-18s %-12s %d\n", k.Name, k.Group, k.DefaultScale)
+		}
+		return
+	}
+
+	var s *sim.Setup
+	var err error
+	if cmd == "asm" {
+		if *file == "" {
+			fatal(fmt.Errorf("asm requires -file"))
+		}
+		src, rerr := os.ReadFile(*file)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		p, perr := asm.Parse(*file, string(src))
+		if perr != nil {
+			fatal(perr)
+		}
+		s, err = sim.Prepare(userKernel(p), 1, synth.DefaultOptions())
+	} else {
+		k, kerr := kernels.Get(*kernel)
+		if kerr != nil {
+			fatal(kerr)
+		}
+		s, err = sim.Prepare(k, *scale, synth.DefaultOptions())
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	switch cmd {
+	case "info":
+		info(s)
+	case "isa":
+		printISA(s)
+	case "disasm":
+		disasm(s, *fitsSide)
+	case "dump":
+		fmt.Print(asm.Format(s.Prog))
+	case "run":
+		run(s, *cfgName)
+	case "asm":
+		info(s)
+		fmt.Println()
+		run(s, *cfgName)
+	case "sweep":
+		sweep(s)
+	case "config":
+		blob := s.Synth.Spec.MarshalConfig()
+		if _, err := os.Stdout.Write(blob); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "powerfits: wrote %d bytes of decoder configuration\n", len(blob))
+	default:
+		usage()
+	}
+}
+
+// sweep records one fetch trace per ISA and replays it across cache
+// sizes — the trace-driven methodology, thousands of times faster than
+// re-simulating the pipeline per design point.
+func sweep(s *sim.Setup) {
+	pc := cpu.DefaultPipeConfig()
+	runTrace := func(name string, prog *program.Program, im *program.Image) *trace.Trace {
+		rec := trace.NewRecorder(name, pc.BlockBytes, nil)
+		m := cpu.New(prog, cpu.ImageLayout(im))
+		if _, err := cpu.RunPipeline(m, pc, rec); err != nil {
+			fatal(err)
+		}
+		return &rec.T
+	}
+	armTr := runTrace("arm", s.Prog, s.ArmImage)
+	fitsTr := runTrace("fits", s.Fits.Lowered, s.Fits.Image)
+	sizes := []int{2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10}
+	fmt.Printf("%s: trace-driven I-cache sweep (32B lines, 32-way; %d ARM / %d FITS fetches)\n",
+		s.Kernel.Name, len(armTr.Addrs), len(fitsTr.Addrs))
+	fmt.Printf("%8s %16s %16s\n", "size", "ARM miss/M", "FITS miss/M")
+	armPts, err := trace.SizeSweep(armTr, sizes, 32, 32)
+	if err != nil {
+		fatal(err)
+	}
+	fitsPts, err := trace.SizeSweep(fitsTr, sizes, 32, 32)
+	if err != nil {
+		fatal(err)
+	}
+	for i, size := range sizes {
+		fmt.Printf("%7dK %16.1f %16.1f\n", size/1024,
+			armPts[i].Stats.MissesPerMillion(), fitsPts[i].Stats.MissesPerMillion())
+	}
+}
+
+// userKernel wraps a parsed program as a one-off kernel.
+func userKernel(p *program.Program) kernels.Kernel {
+	return kernels.Kernel{
+		Name:         p.Name,
+		Group:        "user",
+		Build:        func(int) *program.Program { return p },
+		Ref:          func(int) []uint32 { return nil },
+		DefaultScale: 1,
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "powerfits:", err)
+	os.Exit(1)
+}
+
+func info(s *sim.Setup) {
+	armB := s.ArmImage.Size()
+	fmt.Printf("kernel          %s (%s), scale %d\n", s.Kernel.Name, s.Kernel.Group, s.Scale)
+	fmt.Printf("instructions    %d static, %d dynamic\n", len(s.Prog.Instrs), s.Profile.TotalDyn)
+	fmt.Printf("ARM image       %d bytes (%d literal-pool)\n", armB, s.ArmImage.PoolBytes)
+	fmt.Printf("THUMB estimate  %d bytes (%.1f%% of ARM)\n", s.Thumb.TotalBytes(),
+		100*float64(s.Thumb.TotalBytes())/float64(armB))
+	fmt.Printf("FITS image      %d bytes (%.1f%% of ARM)\n", s.Fits.Image.Size(),
+		100*float64(s.Fits.Image.Size())/float64(armB))
+	fmt.Printf("mapping         %.1f%% static 1:1, %.1f%% dynamic 1:1\n",
+		100*s.Fits.StaticMappingRate(), 100*s.Fits.DynamicMappingRate(s.Profile.Dyn))
+	fmt.Printf("synthesized ISA k=%d, %d/%d opcode points (BIS %d, SIS %d, AIS %d), %d dictionary entries\n",
+		s.Synth.K, s.Synth.Spec.UsedPoints(), 1<<s.Synth.K,
+		len(s.Synth.BIS), len(s.Synth.SIS), len(s.Synth.AIS), s.Synth.DictEntries)
+	fmt.Printf("decoder config  %d bytes of non-volatile state\n", s.Synth.Spec.ConfigBytes())
+	disp := s.Synth.Spec.DispBits()
+	fmt.Printf("branch reach    %.1f%% of branches fit the %d-bit displacement field\n",
+		100*s.Profile.DispCoverage(disp-1), disp)
+	for kk, c := range s.Synth.CandidateCost {
+		fmt.Printf("  k=%d cost %d halfwords (weighted)\n", kk, c)
+	}
+	for kk, e := range s.Synth.CandidateErr {
+		fmt.Printf("  k=%d infeasible: %s\n", kk, e)
+	}
+}
+
+func printISA(s *sim.Setup) {
+	sp := s.Synth.Spec
+	fmt.Printf("synthesized instruction set for %s: %d-bit opcodes, %d points\n",
+		sp.Name, sp.K, sp.UsedPoints())
+
+	// The paper's Figure 2: bit layouts of the synthesized formats.
+	k := sp.K
+	narrow := 16 - k - 8
+	wide := 16 - k - 4
+	full := 16 - k
+	fmt.Println("instruction formats (field widths in bits):")
+	fmt.Printf("  operate-3   [op:%d][rc:4][ra:4][oprd:%d]\n", k, narrow)
+	fmt.Printf("  operate-2   [op:%d][rc:4][lit:%d]\n", k, wide)
+	fmt.Printf("  memory      [op:%d][ra:4][rb:4][imm:%d]  (scaled)\n", k, narrow)
+	fmt.Printf("  memory-wide [op:%d][ra:4][imm:%d]  (base register in opcode)\n", k, wide)
+	fmt.Printf("  branch      [op:%d][disp:%d]  (signed halfwords)\n", k, full)
+	fmt.Printf("  trap        [op:%d][number:%d]\n", k, full)
+	fmt.Printf("  ext prefix  [op:%d][payload:%d]\n", k, full)
+	if len(sp.Window) > 0 {
+		regs := make([]string, 0, len(sp.Window))
+		for _, r := range sp.Window {
+			regs = append(regs, r.String())
+		}
+		fmt.Printf("register window (narrow-field ranks): %s\n", strings.Join(regs, " "))
+	}
+	fmt.Printf("%-4s %-26s %-10s %s\n", "op", "signature", "mode", "values")
+	for i, pt := range sp.Points {
+		switch pt.Kind {
+		case fits.PointExt:
+			fmt.Printf("%-4d %-26s\n", i, "EXT (prefix)")
+		case fits.PointSig:
+			mode := "inline"
+			vals := ""
+			if pt.ImmDict {
+				mode = "dict"
+				parts := make([]string, 0, len(pt.Values))
+				for _, v := range pt.Values {
+					parts = append(parts, fmt.Sprint(v))
+				}
+				vals = strings.Join(parts, ",")
+				if len(vals) > 60 {
+					vals = vals[:57] + "..."
+				}
+			}
+			fmt.Printf("%-4d %-26s %-10s %s\n", i, pt.Sig, mode, vals)
+		}
+	}
+}
+
+func disasm(s *sim.Setup, fitsSide bool) {
+	if fitsSide {
+		im := s.Fits.Image
+		for i := range s.Fits.Lowered.Instrs {
+			in := &s.Fits.Lowered.Instrs[i]
+			fmt.Printf("%08x:  %-6s  %s\n", im.InstrAddr[i],
+				fmt.Sprintf("%dB", im.InstrSize[i]), in)
+		}
+		return
+	}
+	im := s.ArmImage
+	for i := range s.Prog.Instrs {
+		in := &s.Prog.Instrs[i]
+		fmt.Printf("%08x:  %s\n", im.InstrAddr[i], in)
+	}
+}
+
+func run(s *sim.Setup, cfgName string) {
+	var cfg sim.Config
+	found := false
+	for _, c := range sim.Configs {
+		if strings.EqualFold(c.Name, cfgName) {
+			cfg = c
+			found = true
+		}
+	}
+	if !found {
+		fatal(fmt.Errorf("unknown config %q (want ARM16, ARM8, FITS16, FITS8)", cfgName))
+	}
+	r, err := s.Run(cfg, power.DefaultCalibration())
+	if err != nil {
+		fatal(err)
+	}
+	sw, in, lk := r.Power.Share()
+	fmt.Printf("config          %s (%s ISA, %d KB I-cache)\n", cfg.Name, cfg.ISA, cfg.Cache.SizeBytes/1024)
+	fmt.Printf("instructions    %d\n", r.Pipe.Instrs)
+	fmt.Printf("cycles          %d (IPC %.3f)\n", r.Pipe.Cycles, r.Pipe.IPC())
+	fmt.Printf("fetch accesses  %d (%d misses, %.1f per million)\n",
+		r.Cache.Accesses, r.Cache.Misses, r.Cache.MissesPerMillion())
+	fmt.Printf("branches        %d (%d taken, %d mispredicted)\n", r.Pipe.Branches, r.Pipe.Taken, r.Pipe.Mispredicts)
+	fmt.Printf("cache energy    %.2f µJ (switching %.1f%%, internal %.1f%%, leakage %.1f%%)\n",
+		r.Power.TotalPJ()/1e6, 100*sw, 100*in, 100*lk)
+	fmt.Printf("average power   %.2f mW; peak %.2f mW\n", 1e3*r.Power.AvgPowerW(), 1e3*r.Power.PeakPowerW)
+	fmt.Printf("output          %#x\n", r.Pipe.Output)
+}

@@ -1,0 +1,89 @@
+// Designflow walks the paper's Figure 1 end to end on a program written
+// in textual assembly: profile → synthesize (with the requirements
+// feedback loop) → compile (translate) → configure (marshal the decoder
+// state, restore it as a fresh "processor") → execute.
+//
+//	go run ./examples/designflow
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"powerfits"
+)
+
+// source is a dot-product kernel in the toolchain's assembly syntax.
+const source = `
+; dot product of two fixed-point vectors, written as assembly text
+.data va
+	.word 100, -200, 300, -400, 500, -600, 700, -800
+.data vb
+	.word 3, 5, 7, 9, 11, 13, 15, 17
+.func main
+	ldc r1, =0x100000   ; &va
+	ldc r2, =0x100020   ; &vb
+	mov r0, #0          ; acc
+	mov r3, #8          ; count
+loop:
+	ldr r4, [r1], #4
+	ldr r5, [r2], #4
+	mla r0, r4, r5, r0
+	subs r3, r3, #1
+	bne loop
+	swi #1              ; report acc
+	swi #0
+`
+
+func main() {
+	// Stage 0: assemble the text.
+	prog, err := powerfits.ParseAsm("dotprod", source)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stage 1: profile (runs the application to completion).
+	prof, err := powerfits.Collect(prog, 1e6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profile:    %d static instrs, %d dynamic\n",
+		prof.TotalStatic, prof.TotalDyn)
+
+	// Stage 2: synthesize, iterating until the designer's requirements
+	// hold (Figure 1's feedback edge).
+	goal := powerfits.Goal{MaxCodeRatio: 0.60, MinStaticMapping: 0.95}
+	gr, err := powerfits.SynthesizeToGoal(prof, powerfits.DefaultSynthOptions(), goal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthesize: k=%d, %d opcode points, accepted after %d iteration(s)\n",
+		gr.Synthesis.K, gr.Synthesis.Spec.UsedPoints(), gr.Iterations)
+	fmt.Printf("            mapping %.1f%%, code %.1f%% of ARM\n",
+		100*gr.StaticMapping, 100*gr.CodeRatio)
+
+	// Stage 3: configure — serialize the programmable-decoder state and
+	// load it into a "fresh processor".
+	blob := gr.Synthesis.Spec.MarshalConfig()
+	spec, err := powerfits.UnmarshalConfig(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("configure:  %d bytes of decoder state downloaded\n", len(blob))
+
+	// Stage 4: compile against the restored decoder and execute.
+	tr, err := powerfits.Translate(prog, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	setup, err := powerfits.PrepareProgram(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := setup.Run(powerfits.FITS8, powerfits.DefaultCalibration())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("execute:    FITS image %d bytes, output %d (dot product), IPC %.2f\n",
+		tr.Image.Size(), int32(r.Pipe.Output[0]), r.Pipe.IPC())
+}

@@ -1,0 +1,71 @@
+// Quickstart: author a small program against the public API, run the
+// whole FITS design flow on it (profile → synthesize → translate), and
+// simulate it under the ARM baseline and the synthesized 16-bit ISA.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"powerfits"
+)
+
+func main() {
+	// A tiny checksum program: sum 1 KiB of data, mix, and emit.
+	b := powerfits.NewProgram("quickstart")
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = byte(i*31 + 7)
+	}
+	b.Bytes("data", data)
+
+	b.Func("main")
+	b.Lea(powerfits.R1, "data")
+	b.MovI(powerfits.R2, 1024)
+	b.MovI(powerfits.R0, 0)
+	b.Label("loop")
+	b.Ldrb(powerfits.R3, powerfits.R1, 0)
+	b.AddI(powerfits.R1, powerfits.R1, 1)
+	b.Add(powerfits.R0, powerfits.R0, powerfits.R3)
+	b.MovImm32(powerfits.R4, 0x9E3779B9) // golden-ratio mix constant
+	b.Mul(powerfits.R0, powerfits.R0, powerfits.R4)
+	b.SubsI(powerfits.R2, powerfits.R2, 1)
+	b.Bne("loop")
+	b.EmitWord() // SWI 1: report r0
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The whole design flow in one call.
+	setup, err := powerfits.PrepareProgram(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== FITS design flow ==")
+	fmt.Printf("ARM image      %4d bytes\n", setup.ArmImage.Size())
+	fmt.Printf("FITS image     %4d bytes (%.1f%% of ARM)\n",
+		setup.Fits.Image.Size(),
+		100*float64(setup.Fits.Image.Size())/float64(setup.ArmImage.Size()))
+	fmt.Printf("synthesized k=%d, %d opcode points, %d dictionary entries\n",
+		setup.Synth.K, setup.Synth.Spec.UsedPoints(), setup.Synth.DictEntries)
+	fmt.Printf("static 1:1 mapping  %.1f%%\n", 100*setup.Fits.StaticMappingRate())
+
+	// Simulate both ISAs on the 8 KB I-cache configuration.
+	fmt.Println("\n== timing & power (8 KB I-cache) ==")
+	cal := powerfits.DefaultCalibration()
+	for _, cfg := range []powerfits.Config{powerfits.ARM8, powerfits.FITS8} {
+		r, err := setup.Run(cfg, cal)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-7s output=%#x cycles=%d IPC=%.2f fetches=%d cachePower=%.1f mW\n",
+			cfg.Name, r.Pipe.Output, r.Pipe.Cycles, r.Pipe.IPC(),
+			r.Cache.Accesses, 1e3*r.Power.AvgPowerW())
+	}
+}

@@ -1,0 +1,3 @@
+module powerfits
+
+go 1.22

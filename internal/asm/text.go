@@ -1,0 +1,87 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"powerfits/internal/isa"
+	"powerfits/internal/program"
+)
+
+// Format renders a program as assembly text that Parse accepts: data
+// directives for every symbol region, function directives, synthesized
+// branch labels (L<index>) and one instruction per line. Format∘Parse
+// is the identity on the program's instructions, functions, data and
+// symbol layout.
+func Format(p *program.Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; program %s\n", p.Name)
+
+	// Data: emit symbol regions in offset order. Any alignment padding
+	// between regions is folded into the preceding region so offsets
+	// reproduce exactly.
+	type symOff struct {
+		name string
+		off  uint32
+	}
+	syms := make([]symOff, 0, len(p.Symbols))
+	for name, addr := range p.Symbols {
+		syms = append(syms, symOff{name, addr - p.DataBase})
+	}
+	sort.Slice(syms, func(a, b int) bool { return syms[a].off < syms[b].off })
+	for i, s := range syms {
+		end := uint32(len(p.Data))
+		if i+1 < len(syms) {
+			end = syms[i+1].off
+		}
+		fmt.Fprintf(&sb, ".data %s\n", s.name)
+		region := p.Data[s.off:end]
+		// All-zero regions compress to a .zero directive.
+		allZero := len(region) > 8
+		for _, v := range region {
+			if v != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			fmt.Fprintf(&sb, "\t.zero %d\n", len(region))
+			continue
+		}
+		for off := 0; off < len(region); off += 16 {
+			line := region[off:]
+			if len(line) > 16 {
+				line = line[:16]
+			}
+			parts := make([]string, len(line))
+			for j, v := range line {
+				parts[j] = fmt.Sprintf("%#02x", v)
+			}
+			fmt.Fprintf(&sb, "\t.byte %s\n", strings.Join(parts, ", "))
+		}
+	}
+
+	// Code: labels are synthesized from branch target indices.
+	labelAt := map[int]string{}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.Op.IsBranch() && in.Op != isa.BX {
+			labelAt[in.TargetIdx] = fmt.Sprintf("L%d", in.TargetIdx)
+		}
+	}
+	for _, f := range p.Funcs {
+		fmt.Fprintf(&sb, ".func %s\n", f.Name)
+		for i := f.Start; i < f.End; i++ {
+			if lbl, ok := labelAt[i]; ok {
+				fmt.Fprintf(&sb, "%s:\n", lbl)
+			}
+			in := p.Instrs[i]
+			if in.Op.IsBranch() && in.Op != isa.BX {
+				in.Target = labelAt[in.TargetIdx]
+			}
+			fmt.Fprintf(&sb, "\t%s\n", in)
+		}
+	}
+	return sb.String()
+}

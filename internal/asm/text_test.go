@@ -1,0 +1,200 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"powerfits/internal/isa"
+)
+
+func TestParseBasics(t *testing.T) {
+	src := `
+; a comment
+.data tab
+	.word 1, 0x10, -2
+	.byte 7, 0xFF
+	.zero 6
+.func main
+	lea? no
+`
+	if _, err := Parse("bad", src); err == nil {
+		t.Fatal("garbage accepted")
+	}
+
+	src = `
+.data tab
+	.word 1, 0x10, -2
+.func main
+	lea r1, tab        ; unsupported? use ldc with the address below
+	mov r0, #0
+loop:
+	ldr r2, [r1], #4
+	add r0, r0, r2
+	subs r3, r3, #1
+	bne loop
+	swi #1
+	swi #0
+`
+	// `lea` is builder-only (needs symbol resolution at parse time);
+	// replace with an ldc for this test.
+	src = strings.Replace(src, "lea r1, tab", "ldc r1, =0x100000", 1)
+	p, err := Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Instrs) != 8 {
+		t.Fatalf("parsed %d instrs", len(p.Instrs))
+	}
+	if p.Instrs[0].Op != isa.LDC || p.Instrs[0].Imm != 0x100000 {
+		t.Errorf("ldc parsed as %+v", p.Instrs[0])
+	}
+	if p.Instrs[2].Op != isa.LDR || p.Instrs[2].Mode != isa.AMPostImm || p.Instrs[2].Imm != 4 {
+		t.Errorf("post-index load parsed as %+v", p.Instrs[2])
+	}
+	if p.Instrs[4].Op != isa.SUB || !p.Instrs[4].SetFlags {
+		t.Errorf("subs parsed as %+v", p.Instrs[4])
+	}
+	if p.Instrs[5].Op != isa.BC || p.Instrs[5].Cond != isa.NE || p.Instrs[5].TargetIdx != 2 {
+		t.Errorf("bne parsed as %+v", p.Instrs[5])
+	}
+	if got := p.MustSymbol("tab"); got != p.DataBase {
+		t.Errorf("tab at %#x", got)
+	}
+	if len(p.Data) != 12 {
+		t.Errorf("data = %d bytes", len(p.Data))
+	}
+}
+
+func TestMnemonicSplitting(t *testing.T) {
+	cases := []struct {
+		tok  string
+		op   isa.Op
+		cond isa.Cond
+		set  bool
+	}{
+		{"add", isa.ADD, isa.AL, false},
+		{"adds", isa.ADD, isa.AL, true},
+		{"addeq", isa.ADD, isa.EQ, false},
+		{"addeqs", isa.ADD, isa.EQ, true},
+		{"bls", isa.B, isa.LS, false}, // not bl + s!
+		{"bl", isa.BL, isa.AL, false},
+		{"blt", isa.B, isa.LT, false},
+		{"bicne", isa.BIC, isa.NE, false},
+		{"movs", isa.MOV, isa.AL, true},
+		{"movls", isa.MOV, isa.LS, false},
+		{"ldrsb", isa.LDRSB, isa.AL, false},
+		{"ldrbge", isa.LDRB, isa.GE, false},
+		{"mlas", isa.MLA, isa.AL, true},
+		{"bxne", isa.BX, isa.NE, false},
+	}
+	for _, c := range cases {
+		op, cond, set, err := splitMnemonic(c.tok)
+		if err != nil {
+			t.Errorf("%q: %v", c.tok, err)
+			continue
+		}
+		if op != c.op || cond != c.cond || set != c.set {
+			t.Errorf("%q → %s/%s/%v, want %s/%s/%v", c.tok, op, cond, set, c.op, c.cond, c.set)
+		}
+	}
+	for _, bad := range []string{"frob", "cmps", "bs", "pushs"} {
+		if _, _, _, err := splitMnemonic(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestParseRegList(t *testing.T) {
+	list, err := parseRegList("{r4, r5, lr}")
+	if err != nil || list != 1<<isa.R4|1<<isa.R5|1<<isa.LR {
+		t.Errorf("list = %#x, err %v", list, err)
+	}
+	list, err = parseRegList("{r4-r7, lr}")
+	if err != nil || list != 1<<isa.R4|1<<isa.R5|1<<isa.R6|1<<isa.R7|1<<isa.LR {
+		t.Errorf("range list = %#x, err %v", list, err)
+	}
+	for _, bad := range []string{"r4", "{}", "{rx}", "{r7-r4}"} {
+		if _, err := parseRegList(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+// buildRich constructs a program covering every instruction form the
+// formatter emits.
+func buildRich(t *testing.T) *Builder {
+	b := New("rich")
+	b.Words("tab", []uint32{1, 2, 3, 4})
+	b.Bytes("msg", []byte{10, 20, 30})
+	b.Zero("buf", 32)
+	b.Func("main")
+	b.MovI(isa.R0, 0)
+	b.Lea(isa.R1, "tab")
+	b.Label("loop")
+	b.Ldr(isa.R2, isa.R1, 0)
+	b.MemPost(isa.LDRB, isa.R3, isa.R1, 1)
+	b.MemReg(isa.STR, isa.R2, isa.R1, isa.R0, 2)
+	b.Mem(isa.LDRSH, isa.R4, isa.R1, -2)
+	b.AddShift(isa.R2, isa.R2, isa.R3, isa.ROR, 7)
+	b.LslR(isa.R5, isa.R2, isa.R3)
+	b.IfI(isa.GE, isa.ADD, isa.R0, isa.R0, 1)
+	b.Subs(isa.R6, isa.R6, isa.R2)
+	b.Mla(isa.R7, isa.R2, isa.R3, isa.R7)
+	b.Qadd(isa.R8, isa.R8, isa.R2)
+	b.Clz(isa.R9, isa.R2)
+	b.Push(isa.R4, isa.R5, isa.LR)
+	b.Pop(isa.R4, isa.R5, isa.LR)
+	b.CmpI(isa.R0, 4)
+	b.Blt("loop")
+	b.Bl("helper")
+	b.EmitWord()
+	b.Exit()
+	b.Func("helper")
+	b.Mvn(isa.R0, isa.R0)
+	b.Ret()
+	return b
+}
+
+// TestFormatParseRoundTrip: Format ∘ Parse must reproduce instructions,
+// functions, data and symbol layout exactly.
+func TestFormatParseRoundTrip(t *testing.T) {
+	orig, err := buildRich(t).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(orig)
+	back, err := Parse(orig.Name, text)
+	if err != nil {
+		t.Fatalf("parse formatted text: %v\n%s", err, text)
+	}
+	if len(back.Instrs) != len(orig.Instrs) {
+		t.Fatalf("instr counts differ: %d vs %d", len(back.Instrs), len(orig.Instrs))
+	}
+	for i := range orig.Instrs {
+		a, b := orig.Instrs[i], back.Instrs[i]
+		a.Target, b.Target = "", ""
+		if a != b {
+			t.Errorf("instr %d:\n orig %+v\n back %+v", i, a, b)
+		}
+	}
+	if len(back.Funcs) != len(orig.Funcs) {
+		t.Fatalf("func counts differ")
+	}
+	for i := range orig.Funcs {
+		if back.Funcs[i] != orig.Funcs[i] {
+			t.Errorf("func %d: %+v vs %+v", i, back.Funcs[i], orig.Funcs[i])
+		}
+	}
+	if string(back.Data) != string(orig.Data) {
+		t.Errorf("data differs: %d vs %d bytes", len(back.Data), len(orig.Data))
+	}
+	for name, addr := range orig.Symbols {
+		if back.Symbols[name] != addr {
+			t.Errorf("symbol %s at %#x vs %#x", name, back.Symbols[name], addr)
+		}
+	}
+	// Idempotence: formatting the parsed program reproduces the text.
+	if again := Format(back); again != text {
+		t.Error("Format not idempotent over Parse")
+	}
+}

@@ -1,0 +1,162 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := SA1100ICache().Validate(); err != nil {
+		t.Errorf("SA1100 config invalid: %v", err)
+	}
+	if err := SA1100ICacheHalf().Validate(); err != nil {
+		t.Errorf("half config invalid: %v", err)
+	}
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 32, Assoc: 2},
+		{SizeBytes: 1024, LineBytes: 24, Assoc: 2},     // line not power of two
+		{SizeBytes: 1000, LineBytes: 32, Assoc: 2},     // size not divisible
+		{SizeBytes: 3 * 1024, LineBytes: 32, Assoc: 1}, // sets not power of two
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+	if got := SA1100ICache().Sets(); got != 16 {
+		t.Errorf("SA1100 sets = %d, want 16", got)
+	}
+}
+
+func TestBasicHitMiss(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 256, LineBytes: 16, Assoc: 2})
+	if c.Access(0x100) {
+		t.Error("first access must miss")
+	}
+	if !c.Access(0x100) || !c.Access(0x10F) {
+		t.Error("same line must hit")
+	}
+	if c.Access(0x110) {
+		t.Error("next line must miss")
+	}
+	st := c.Stats()
+	if st.Accesses != 4 || st.Misses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if got := st.MissRate(); got != 0.5 {
+		t.Errorf("miss rate %f", got)
+	}
+	if got := st.MissesPerMillion(); got != 500000 {
+		t.Errorf("misses/M %f", got)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// Direct set targeting: 2-way, line 16, 8 sets → set = addr[6:4].
+	c := MustNew(Config{SizeBytes: 256, LineBytes: 16, Assoc: 2})
+	a := func(i uint32) uint32 { return i<<7 | 0x0 } // same set 0
+	c.Access(a(1))
+	c.Access(a(2))
+	c.Access(a(1)) // 1 is now MRU
+	if c.Access(a(3)) {
+		t.Error("third tag must miss")
+	}
+	// 2 was LRU and must have been evicted; 1 must survive.
+	if !c.Contains(a(1)) {
+		t.Error("MRU line evicted")
+	}
+	if c.Contains(a(2)) {
+		t.Error("LRU line survived")
+	}
+}
+
+func TestContainsDoesNotTouch(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 256, LineBytes: 16, Assoc: 2})
+	c.Access(0x40)
+	st := c.Stats()
+	c.Contains(0x40)
+	c.Contains(0x999)
+	if c.Stats() != st {
+		t.Error("Contains must not change statistics")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 256, LineBytes: 16, Assoc: 2})
+	c.Access(0x40)
+	c.Reset()
+	if c.Stats() != (Stats{}) {
+		t.Error("stats not cleared")
+	}
+	if c.Contains(0x40) {
+		t.Error("lines not invalidated")
+	}
+}
+
+// TestWorkingSetFits: any working set no larger than the capacity,
+// accessed round-robin, has only compulsory misses under true LRU.
+func TestWorkingSetFits(t *testing.T) {
+	cfg := Config{SizeBytes: 4096, LineBytes: 32, Assoc: 4}
+	c := MustNew(cfg)
+	lines := cfg.SizeBytes / cfg.LineBytes
+	rounds := 10
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < lines; i++ {
+			c.Access(uint32(i * cfg.LineBytes))
+		}
+	}
+	if got, want := c.Stats().Misses, uint64(lines); got != want {
+		t.Errorf("misses = %d, want %d (compulsory only)", got, want)
+	}
+}
+
+// TestThrash: a working set of capacity+1 lines mapping round-robin
+// through one set degree thrashes under LRU.
+func TestThrash(t *testing.T) {
+	cfg := Config{SizeBytes: 256, LineBytes: 16, Assoc: 2}
+	c := MustNew(cfg)
+	// Three tags in one set, cyclic: always misses after warmup.
+	for i := 0; i < 30; i++ {
+		c.Access(uint32(i%3) << 7)
+	}
+	if c.Stats().Misses != 30 {
+		t.Errorf("cyclic over-capacity set must always miss, got %d/30", c.Stats().Misses)
+	}
+}
+
+// TestFullyAssociativeProperty: with a single set, LRU hit/miss
+// behaviour matches a reference model.
+func TestFullyAssociativeProperty(t *testing.T) {
+	cfg := Config{SizeBytes: 512, LineBytes: 32, Assoc: 16} // 1 set
+	f := func(seed int64) bool {
+		c := MustNew(cfg)
+		r := rand.New(rand.NewSource(seed))
+		var ref []uint32 // LRU order, most recent last
+		for i := 0; i < 500; i++ {
+			line := uint32(r.Intn(40))
+			hit := c.Access(line * 32)
+			refHit := false
+			for j, l := range ref {
+				if l == line {
+					ref = append(append(ref[:j:j], ref[j+1:]...), line)
+					refHit = true
+					break
+				}
+			}
+			if !refHit {
+				ref = append(ref, line)
+				if len(ref) > 16 {
+					ref = ref[1:]
+				}
+			}
+			if hit != refHit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

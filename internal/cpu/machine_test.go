@@ -1,0 +1,302 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"powerfits/internal/asm"
+	"powerfits/internal/isa"
+	"powerfits/internal/program"
+)
+
+// buildAndRun assembles a body with the builder, runs it functionally
+// and returns the machine.
+func buildAndRun(t *testing.T, body func(b *asm.Builder)) *Machine {
+	t.Helper()
+	b := asm.New("t")
+	b.Func("main")
+	body(b)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := RunFunctional(p, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestArithmeticFlags(t *testing.T) {
+	cases := []struct {
+		a, b       uint32
+		op         isa.Op
+		r          uint32
+		n, z, c, v bool
+	}{
+		// ADD
+		{1, 2, isa.ADD, 3, false, false, false, false},
+		{0xFFFFFFFF, 1, isa.ADD, 0, false, true, true, false},
+		{0x7FFFFFFF, 1, isa.ADD, 0x80000000, true, false, false, true},
+		// SUB (C = no borrow)
+		{5, 3, isa.SUB, 2, false, false, true, false},
+		{3, 5, isa.SUB, 0xFFFFFFFE, true, false, false, false},
+		{5, 5, isa.SUB, 0, false, true, true, false},
+		{0x80000000, 1, isa.SUB, 0x7FFFFFFF, false, false, true, true},
+	}
+	for _, cse := range cases {
+		m := buildAndRun(t, func(b *asm.Builder) {
+			b.MovImm32(isa.R1, cse.a)
+			b.MovImm32(isa.R2, cse.b)
+			b.ALUS(cse.op, isa.R0, isa.R1, isa.R2)
+		})
+		if m.Regs[0] != cse.r {
+			t.Errorf("%s(%#x,%#x) = %#x, want %#x", cse.op, cse.a, cse.b, m.Regs[0], cse.r)
+		}
+		if m.N != cse.n || m.Z != cse.z || m.C != cse.c || m.V != cse.v {
+			t.Errorf("%s(%#x,%#x) flags NZCV=%v%v%v%v want %v%v%v%v",
+				cse.op, cse.a, cse.b, m.N, m.Z, m.C, m.V, cse.n, cse.z, cse.c, cse.v)
+		}
+	}
+}
+
+func TestShifterSemantics(t *testing.T) {
+	// Property: the simulated barrel shifter matches the Go reference
+	// for register-amount shifts.
+	ref := func(v uint32, kind isa.Shift, amt uint32) uint32 {
+		amt &= 0xff
+		if amt == 0 {
+			return v
+		}
+		switch kind {
+		case isa.LSL:
+			if amt >= 32 {
+				return 0
+			}
+			return v << amt
+		case isa.LSR:
+			if amt >= 32 {
+				return 0
+			}
+			return v >> amt
+		case isa.ASR:
+			if amt >= 32 {
+				amt = 31
+				return uint32(int32(v) >> 31)
+			}
+			return uint32(int32(v) >> amt)
+		default: // ROR
+			amt &= 31
+			if amt == 0 {
+				return v
+			}
+			return v>>amt | v<<(32-amt)
+		}
+	}
+	f := func(v uint32, kindRaw, amtRaw uint8) bool {
+		kind := isa.Shift(kindRaw % 4)
+		amt := uint32(amtRaw % 40)
+		m := buildAndRun(t, func(b *asm.Builder) {
+			b.MovImm32(isa.R1, v)
+			b.MovImm32(isa.R2, amt)
+			b.Emit(isa.Instr{Op: isa.MOV, Cond: isa.AL, Rd: isa.R0, Rm: isa.R1,
+				Shift: kind, Rs: isa.R2, RegShift: true})
+		})
+		return m.Regs[0] == ref(v, kind, amt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSaturatingOps(t *testing.T) {
+	cases := []struct {
+		op   isa.Op
+		a, b uint32
+		want uint32
+	}{
+		{isa.QADD, 0x7FFFFFFF, 1, 0x7FFFFFFF},
+		{isa.QADD, 1, 2, 3},
+		{isa.QSUB, 0x80000000, 1, 0x80000000},
+		{isa.QSUB, 5, 3, 2},
+		{isa.MIN, 3, 5, 3},
+		{isa.MIN, 0xFFFFFFFF, 5, 0xFFFFFFFF}, // signed: -1 < 5
+		{isa.MAX, 0xFFFFFFFF, 5, 5},
+	}
+	for _, c := range cases {
+		m := buildAndRun(t, func(b *asm.Builder) {
+			b.MovImm32(isa.R1, c.a)
+			b.MovImm32(isa.R2, c.b)
+			b.ALU(c.op, isa.R0, isa.R1, isa.R2)
+		})
+		if m.Regs[0] != c.want {
+			t.Errorf("%s(%#x,%#x) = %#x, want %#x", c.op, c.a, c.b, m.Regs[0], c.want)
+		}
+	}
+}
+
+func TestClzRev(t *testing.T) {
+	m := buildAndRun(t, func(b *asm.Builder) {
+		b.MovImm32(isa.R1, 0x00010000)
+		b.Clz(isa.R0, isa.R1)
+		b.MovI(isa.R2, 0)
+		b.Clz(isa.R3, isa.R2)
+		b.MovImm32(isa.R4, 0x12003400)
+		b.Rev(isa.R5, isa.R4)
+	})
+	if m.Regs[0] != 15 {
+		t.Errorf("clz(0x10000) = %d", m.Regs[0])
+	}
+	if m.Regs[3] != 32 {
+		t.Errorf("clz(0) = %d", m.Regs[3])
+	}
+	if m.Regs[5] != 0x00340012 {
+		t.Errorf("rev = %#x", m.Regs[5])
+	}
+}
+
+func TestPredication(t *testing.T) {
+	m := buildAndRun(t, func(b *asm.Builder) {
+		b.MovI(isa.R0, 5)
+		b.CmpI(isa.R0, 5)
+		b.MovIIf(isa.EQ, isa.R1, 1)
+		b.MovIIf(isa.NE, isa.R2, 1)
+		b.CmpI(isa.R0, 9) // 5 - 9 < 0
+		b.MovIIf(isa.LT, isa.R3, 1)
+		b.MovIIf(isa.GE, isa.R4, 1)
+		b.MovIIf(isa.MI, isa.R5, 1)
+		b.MovIIf(isa.CC, isa.R6, 1) // unsigned borrow occurred → C clear
+	})
+	want := map[isa.Reg]uint32{isa.R1: 1, isa.R2: 0, isa.R3: 1, isa.R4: 0, isa.R5: 1, isa.R6: 1}
+	for r, v := range want {
+		if m.Regs[r] != v {
+			t.Errorf("r%d = %d, want %d", r, m.Regs[r], v)
+		}
+	}
+}
+
+func TestMemoryWidths(t *testing.T) {
+	m := buildAndRun(t, func(b *asm.Builder) {
+		b.Zero("buf", 16)
+		b.Lea(isa.R1, "buf")
+		b.MovImm32(isa.R0, 0xCAFEBABE)
+		b.Str(isa.R0, isa.R1, 0)
+		b.Ldrb(isa.R2, isa.R1, 0)           // 0xBE
+		b.Ldrb(isa.R3, isa.R1, 3)           // 0xCA
+		b.Ldrh(isa.R4, isa.R1, 0)           // 0xBABE
+		b.Mem(isa.LDRSB, isa.R5, isa.R1, 0) // sign-extended 0xBE
+		b.Mem(isa.LDRSH, isa.R6, isa.R1, 0) // sign-extended 0xBABE
+		b.MovImm32(isa.R7, 0x1234)
+		b.Strh(isa.R7, isa.R1, 4)
+		b.Ldr(isa.R8, isa.R1, 4)
+	})
+	checks := map[isa.Reg]uint32{
+		isa.R2: 0xBE, isa.R3: 0xCA, isa.R4: 0xBABE,
+		isa.R5: 0xFFFFFFBE, isa.R6: 0xFFFFBABE, isa.R8: 0x1234,
+	}
+	for r, v := range checks {
+		if m.Regs[r] != v {
+			t.Errorf("r%d = %#x, want %#x", r, m.Regs[r], v)
+		}
+	}
+}
+
+func TestPostIndexWriteback(t *testing.T) {
+	m := buildAndRun(t, func(b *asm.Builder) {
+		b.Words("w", []uint32{10, 20, 30})
+		b.Lea(isa.R1, "w")
+		b.Mov(isa.R6, isa.R1)
+		b.MemPost(isa.LDR, isa.R2, isa.R1, 4)
+		b.MemPost(isa.LDR, isa.R3, isa.R1, 4)
+		b.Sub(isa.R4, isa.R1, isa.R6) // advanced by 8
+	})
+	if m.Regs[2] != 10 || m.Regs[3] != 20 || m.Regs[4] != 8 {
+		t.Errorf("post-index: r2=%d r3=%d r4=%d", m.Regs[2], m.Regs[3], m.Regs[4])
+	}
+}
+
+func TestPushPopRoundTrip(t *testing.T) {
+	m := buildAndRun(t, func(b *asm.Builder) {
+		b.MovI(isa.R4, 44)
+		b.MovI(isa.R5, 55)
+		b.MovI(isa.R6, 66)
+		b.Push(isa.R4, isa.R5, isa.R6)
+		b.MovI(isa.R4, 0)
+		b.MovI(isa.R5, 0)
+		b.MovI(isa.R6, 0)
+		b.Pop(isa.R4, isa.R5, isa.R6)
+	})
+	if m.Regs[4] != 44 || m.Regs[5] != 55 || m.Regs[6] != 66 {
+		t.Errorf("push/pop corrupted: %v %v %v", m.Regs[4], m.Regs[5], m.Regs[6])
+	}
+	if m.Regs[isa.SP] != program.StackTop {
+		t.Errorf("sp not restored: %#x", m.Regs[isa.SP])
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	b := asm.New("call")
+	b.Func("main")
+	b.MovI(isa.R0, 1)
+	b.Bl("double")
+	b.Bl("double")
+	b.EmitWord()
+	b.Exit()
+	b.Func("double")
+	b.Add(isa.R0, isa.R0, isa.R0)
+	b.Ret()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := RunFunctional(p, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Output) != 1 || m.Output[0] != 4 {
+		t.Errorf("output = %v, want [4]", m.Output)
+	}
+}
+
+func TestFaults(t *testing.T) {
+	// Misaligned word access faults.
+	b := asm.New("fault")
+	b.Func("main")
+	b.MovImm32(isa.R1, program.DefaultDataBase+1)
+	b.Ldr(isa.R0, isa.R1, 0)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunFunctional(p, 1e6); err == nil {
+		t.Error("misaligned load must fault")
+	}
+
+	// Instruction budget.
+	b2 := asm.New("loop")
+	b2.Func("main")
+	b2.Label("spin")
+	b2.B("spin")
+	p2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunFunctional(p2, 1000); err == nil {
+		t.Error("runaway loop must exhaust the budget")
+	}
+}
+
+func TestMulMla(t *testing.T) {
+	m := buildAndRun(t, func(b *asm.Builder) {
+		b.MovI(isa.R1, 7)
+		b.MovI(isa.R2, 6)
+		b.Mul(isa.R0, isa.R1, isa.R2)
+		b.MovI(isa.R3, 100)
+		b.Mla(isa.R4, isa.R1, isa.R2, isa.R3)
+	})
+	if m.Regs[0] != 42 || m.Regs[4] != 142 {
+		t.Errorf("mul=%d mla=%d", m.Regs[0], m.Regs[4])
+	}
+}

@@ -1,0 +1,305 @@
+package cpu
+
+import (
+	"fmt"
+
+	"powerfits/internal/isa"
+)
+
+// FetchPort is the pipeline's window onto the instruction memory
+// hierarchy. The simulation layer implements it with the I-cache and the
+// power meter behind it.
+type FetchPort interface {
+	// FetchBlock initiates a fetch of the pipeline's block width at the
+	// given aligned address and returns the extra stall cycles beyond
+	// the single access cycle (0 on a hit).
+	FetchBlock(addr uint32) (stall int)
+	// Tick is called once at the end of every pipeline cycle so the
+	// memory subsystem can account per-cycle (clock, leakage, peak
+	// window) effects.
+	Tick()
+}
+
+// nullPort satisfies FetchPort with an ideal (always-hit) memory.
+type nullPort struct{}
+
+func (nullPort) FetchBlock(uint32) int { return 0 }
+func (nullPort) Tick()                 {}
+
+// NullFetchPort returns an ideal instruction memory (every access hits).
+var NullFetchPort FetchPort = nullPort{}
+
+// PipeConfig parameterises the dual-issue in-order pipeline, modelled
+// after the SA-1100-class core the paper holds fixed.
+type PipeConfig struct {
+	// IssueWidth is the maximum instructions issued per cycle.
+	IssueWidth int
+	// BlockBytes is the fetch-bus width: bytes delivered per I-cache
+	// access. Must be a power of two.
+	BlockBytes int
+	// LoadUseDelay is the bubble between a load and its first consumer.
+	LoadUseDelay int
+	// MulLatency is the extra cycles before a multiply result is ready.
+	MulLatency int
+	// MispredictPenalty is the flush cost of a wrong static prediction.
+	MispredictPenalty int
+	// MaxInstrs bounds execution (0 = unlimited).
+	MaxInstrs uint64
+}
+
+// DefaultPipeConfig returns the SA-1100-class configuration used by all
+// experiments: dual-issue with the StrongARM's 32-bit I-fetch port (one
+// word per cache access per cycle — the fetch bandwidth that makes
+// 16-bit instructions halve the access count), and classic short-pipe
+// hazards.
+func DefaultPipeConfig() PipeConfig {
+	return PipeConfig{
+		IssueWidth:        2,
+		BlockBytes:        4,
+		LoadUseDelay:      1,
+		MulLatency:        2,
+		MispredictPenalty: 2,
+	}
+}
+
+// PipeResult aggregates the timing run.
+type PipeResult struct {
+	Cycles        uint64
+	Instrs        uint64
+	FetchAccesses uint64
+	FetchStalls   uint64 // cycles lost to I-cache misses
+	Bubbles       uint64 // cycles lost to mispredictions
+	Branches      uint64
+	Taken         uint64
+	Mispredicts   uint64
+	Output        []uint32
+
+	// The CPI stack: every cycle that issued no instruction is
+	// attributed to its blocking cause, in priority order.
+	ZeroIssueMiss   uint64 // I-cache miss stall in the fetch unit
+	ZeroIssueBubble uint64 // misprediction flush
+	ZeroIssueFetch  uint64 // next instruction's bytes not yet fetched
+	ZeroIssueHazard uint64 // data or structural interlock
+	DualIssueCycles uint64 // cycles that issued the full width
+}
+
+// IPC returns instructions per cycle.
+func (r *PipeResult) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instrs) / float64(r.Cycles)
+}
+
+// RunPipeline executes the machine's program through the timing model,
+// fetching encoded instruction bytes through port. The machine must be
+// freshly constructed with the image layout of the target encoding.
+func RunPipeline(m *Machine, cfg PipeConfig, port FetchPort) (*PipeResult, error) {
+	if cfg.IssueWidth <= 0 || cfg.BlockBytes <= 0 || cfg.BlockBytes&(cfg.BlockBytes-1) != 0 {
+		return nil, fmt.Errorf("cpu: invalid pipeline config %+v", cfg)
+	}
+	if port == nil {
+		port = NullFetchPort
+	}
+	m.MaxInstrs = cfg.MaxInstrs
+
+	var res PipeResult
+	blockMask := ^uint32(cfg.BlockBytes - 1)
+
+	// Fetch state: [fStart,fEnd) is the contiguous fetched region the
+	// issue stage may consume. fetchBusy counts remaining miss-stall
+	// cycles for the in-flight block; bubble counts mispredict flush
+	// cycles during which the fetch unit idles.
+	var fStart, fEnd uint32
+	fetchBusy := 0
+	var inflight uint32
+	hasInflight := false
+	bubble := 0
+	redirect := func(addr uint32) {
+		fStart, fEnd = addr, addr
+		fetchBusy = 0
+		hasInflight = false
+	}
+	redirect(m.layout.AddrOf(m.PCIdx))
+
+	// regReady[r] is the first cycle a consumer of r may issue.
+	var regReady [isa.NumRegs + 1]uint64 // +1: flags pseudo-register
+	const flagsReg = isa.NumRegs
+
+	var cycle uint64
+	maxCycles := uint64(1) << 40
+	if cfg.MaxInstrs > 0 {
+		maxCycles = cfg.MaxInstrs*64 + 1<<20
+	}
+
+	for !m.Halted {
+		cycle++
+		if cycle > maxCycles {
+			return nil, fmt.Errorf("cpu: cycle budget exhausted (deadlock?)")
+		}
+
+		// ---- Fetch stage ----
+		const (
+			fetchOK = iota
+			fetchBubble
+			fetchMiss
+		)
+		fetchState := fetchOK
+		switch {
+		case bubble > 0:
+			bubble--
+			res.Bubbles++
+			fetchState = fetchBubble
+		case fetchBusy > 0:
+			fetchBusy--
+			res.FetchStalls++
+			fetchState = fetchMiss
+			if fetchBusy == 0 && hasInflight {
+				fEnd = inflight + uint32(cfg.BlockBytes)
+				hasInflight = false
+			}
+		default:
+			// Demand exactly the bytes the issue stage could consume
+			// this cycle: the next IssueWidth instructions.
+			last := m.PCIdx + cfg.IssueWidth - 1
+			if last >= len(m.prog.Instrs) {
+				last = len(m.prog.Instrs) - 1
+			}
+			need := m.layout.AddrOf(last) + uint32(m.layout.SizeOf(last))
+			if fEnd < need {
+				blk := fEnd & blockMask
+				if fEnd == fStart {
+					blk = fStart & blockMask
+					fStart = blk
+				}
+				stall := port.FetchBlock(blk)
+				res.FetchAccesses++
+				if stall > 0 {
+					fetchBusy = stall
+					inflight = blk
+					hasInflight = true
+				} else {
+					fEnd = blk + uint32(cfg.BlockBytes)
+				}
+			}
+		}
+
+		// ---- Issue stage ----
+		memUsed, mulUsed := false, false
+		issued := 0
+		stallCause := &res.ZeroIssueHazard
+		for slot := 0; slot < cfg.IssueWidth && !m.Halted; slot++ {
+			idx := m.PCIdx
+			in := &m.prog.Instrs[idx]
+			a := m.layout.AddrOf(idx)
+			end := a + uint32(m.layout.SizeOf(idx))
+			if a < fStart || end > fEnd {
+				stallCause = &res.ZeroIssueFetch
+				break // bytes not fetched yet
+			}
+
+			// Structural hazards.
+			cls := in.Op.Class()
+			isMem := cls == isa.ClassMem || cls == isa.ClassLit || cls == isa.ClassStack
+			if isMem && memUsed {
+				break
+			}
+			if cls == isa.ClassMul && mulUsed {
+				break
+			}
+
+			// Data hazards: every used register (and flags for
+			// predicated or flag-reading ops) must be ready.
+			uses := in.Uses()
+			ready := true
+			for r := 0; r < isa.NumRegs; r++ {
+				if uses&(1<<r) != 0 && regReady[r] > cycle {
+					ready = false
+					break
+				}
+			}
+			if ready && (in.Predicated() || in.Op == isa.ADC || in.Op == isa.SBC) &&
+				regReady[flagsReg] > cycle {
+				ready = false
+			}
+			if !ready {
+				break
+			}
+
+			// Execute.
+			stepRes, err := m.Step()
+			if err != nil {
+				return nil, err
+			}
+			res.Instrs++
+			issued++
+			if isMem {
+				memUsed = true
+			}
+			if cls == isa.ClassMul {
+				mulUsed = true
+			}
+
+			// Writeback latencies.
+			if stepRes.Executed {
+				defs := in.Defs()
+				lat := uint64(1)
+				switch {
+				case in.Op.IsLoad():
+					lat = uint64(1 + cfg.LoadUseDelay)
+				case cls == isa.ClassMul:
+					lat = uint64(1 + cfg.MulLatency)
+				}
+				for r := 0; r < isa.NumRegs; r++ {
+					if defs&(1<<r) != 0 {
+						regReady[r] = cycle + lat
+					}
+				}
+				if in.SetFlags || in.Op.IsCompare() {
+					regReady[flagsReg] = cycle + 1
+				}
+			}
+
+			// Control flow.
+			if cls == isa.ClassBranch || (in.Predicated() && in.Op.IsBranch()) {
+				res.Branches++
+				predTaken := true
+				if in.Op == isa.BC {
+					predTaken = in.TargetIdx <= idx // backward taken, forward not
+				}
+				if stepRes.Taken {
+					res.Taken++
+				}
+				if predTaken != stepRes.Taken {
+					res.Mispredicts++
+					bubble += cfg.MispredictPenalty
+				}
+				if stepRes.Taken || predTaken != stepRes.Taken {
+					redirect(m.layout.AddrOf(m.PCIdx))
+					slot = cfg.IssueWidth // stop issuing this cycle
+				}
+			}
+		}
+
+		// CPI-stack accounting.
+		switch {
+		case issued >= cfg.IssueWidth:
+			res.DualIssueCycles++
+		case issued == 0 && !m.Halted:
+			switch fetchState {
+			case fetchMiss:
+				res.ZeroIssueMiss++
+			case fetchBubble:
+				res.ZeroIssueBubble++
+			default:
+				*stallCause++
+			}
+		}
+
+		port.Tick()
+	}
+
+	res.Cycles = cycle
+	res.Output = m.Output
+	return &res, nil
+}

@@ -1,0 +1,56 @@
+package arm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeGarbageNeverPanics: arbitrary 32-bit words must decode to an
+// instruction or an error, never panic.
+func TestDecodeGarbageNeverPanics(t *testing.T) {
+	pool := func(uint32) uint32 { return 0xDEADBEEF }
+	idx := func(uint32) (int, bool) { return 0, true }
+	r := rand.New(rand.NewSource(11))
+	decoded, errs := 0, 0
+	for i := 0; i < 100000; i++ {
+		w := r.Uint32()
+		if _, err := Decode(w, 0x8000, pool, idx); err != nil {
+			errs++
+		} else {
+			decoded++
+		}
+	}
+	if decoded == 0 || errs == 0 {
+		t.Errorf("degenerate outcome: %d decoded, %d errors", decoded, errs)
+	}
+}
+
+// TestDecodeReencode: any garbage word that decodes must re-encode to an
+// equivalent instruction (not necessarily bit-identical: ARM has
+// redundant encodings, e.g. several rotations of small immediates), and
+// the re-encoded word must decode back to the same instruction.
+func TestDecodeReencode(t *testing.T) {
+	pool := func(uint32) uint32 { return 0x12345678 }
+	r := rand.New(rand.NewSource(12))
+	for i := 0; i < 100000; i++ {
+		w := r.Uint32()
+		in, err := Decode(w, 0x8000, pool, nil)
+		if err != nil {
+			continue
+		}
+		if in.Op.IsBranch() || in.Op.String() == "ldc" {
+			continue // need layout context
+		}
+		w2, err := EncodeInstr(&in, 0x8000, 0, 0)
+		if err != nil {
+			t.Fatalf("decoded %s (%#08x) but cannot re-encode: %v", in, w, err)
+		}
+		in2, err := Decode(w2, 0x8000, pool, nil)
+		if err != nil {
+			t.Fatalf("re-encoded %s (%#08x) undecodable: %v", in, w2, err)
+		}
+		if in2 != in {
+			t.Fatalf("decode∘encode not stable:\n %+v (%#08x)\n %+v (%#08x)", in, w, in2, w2)
+		}
+	}
+}

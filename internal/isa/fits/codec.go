@@ -1,0 +1,716 @@
+package fits
+
+import (
+	"fmt"
+
+	"powerfits/internal/isa"
+)
+
+// NoPointError reports that an instruction has no applicable opcode
+// point in the spec; the translator responds by rewriting it into
+// synthesized operations (the 1-to-n mapping path).
+type NoPointError struct {
+	Sig Signature
+}
+
+func (e *NoPointError) Error() string {
+	return fmt.Sprintf("fits: no opcode point for signature %q", e.Sig)
+}
+
+// RewriteError reports that the instruction cannot be expressed even
+// with EXT prefixes (e.g. an MLA whose accumulator differs from its
+// destination, or an unscalable offset); the translator must
+// restructure it.
+type RewriteError struct {
+	Reason string
+}
+
+func (e *RewriteError) Error() string { return "fits: " + e.Reason }
+
+// packer assembles a 16-bit word, fields ordered msb→lsb.
+type packer struct {
+	w   uint16
+	pos int
+}
+
+func newPacker() *packer { return &packer{pos: 16} }
+
+func (p *packer) put(v uint32, bits int) {
+	p.pos -= bits
+	if p.pos < 0 {
+		panic("fits: field overflow")
+	}
+	p.w |= uint16(v&(1<<bits-1)) << p.pos
+}
+
+// unpacker mirrors packer.
+type unpacker struct {
+	w   uint16
+	pos int
+}
+
+func (u *unpacker) take(bits int) uint32 {
+	u.pos -= bits
+	return uint32(u.w>>u.pos) & (1<<bits - 1)
+}
+
+// ext builds an EXT word with the given payload.
+func (sp *Spec) ext(payload uint32) uint16 {
+	p := newPacker()
+	p.put(uint32(sp.extPoint), sp.K)
+	p.put(payload, sp.PayloadBits())
+	return p.w
+}
+
+// splitUnsigned splits a non-negative value into inline bits plus EXT
+// payloads (most significant first). Returns nil exts when it fits.
+func (sp *Spec) splitUnsigned(v uint32, inlineBits int) (inline uint32, exts []uint32, err error) {
+	pb := sp.PayloadBits()
+	inline = v & (1<<inlineBits - 1)
+	rest := v >> inlineBits
+	for rest != 0 {
+		exts = append([]uint32{rest & (1<<pb - 1)}, exts...)
+		rest >>= pb
+		if len(exts) > MaxExts {
+			return 0, nil, &RewriteError{Reason: fmt.Sprintf("value %#x needs more than %d EXT prefixes", v, MaxExts)}
+		}
+	}
+	return inline, exts, nil
+}
+
+// splitSigned splits a signed value (branch displacement) into a
+// sign-extended inline field plus EXT payloads.
+func (sp *Spec) splitSigned(v int32, inlineBits int) (inline uint32, exts []uint32, err error) {
+	pb := sp.PayloadBits()
+	width := inlineBits
+	for ; width <= inlineBits+MaxExts*pb; width += pb {
+		lo := int64(-1) << (width - 1)
+		hi := -lo - 1
+		if int64(v) >= lo && int64(v) <= hi {
+			break
+		}
+	}
+	if width > inlineBits+MaxExts*pb {
+		return 0, nil, &RewriteError{Reason: fmt.Sprintf("displacement %d needs more than %d EXT prefixes", v, MaxExts)}
+	}
+	u := uint32(v) & (1<<width - 1)
+	inline = u & (1<<inlineBits - 1)
+	rest := u >> inlineBits
+	for w := inlineBits; w < width; w += pb {
+		exts = append([]uint32{rest & (1<<pb - 1)}, exts...)
+		rest >>= pb
+	}
+	return inline, exts, nil
+}
+
+// narrowReg encodes a register into a narrow windowed field, falling
+// back to an EXT raw-register override.
+func (sp *Spec) narrowReg(r isa.Reg, bits int) (field uint32, exts []uint32) {
+	if bits >= 4 {
+		return uint32(r), nil
+	}
+	if rank := sp.WindowRank(r); rank >= 0 && rank < 1<<bits {
+		return uint32(rank), nil
+	}
+	return 0, []uint32{uint32(r)}
+}
+
+// ValueOf extracts the instruction's value-field content for a
+// candidate signature (unsigned field-value space: scaled offset
+// magnitudes, immediates, shift amounts, canonical lists, trap
+// numbers, literal constants). The synthesizer uses it to build value
+// histograms.
+func ValueOf(in *isa.Instr, sig Signature) (uint32, error) {
+	return valueOf(in, sig)
+}
+
+func valueOf(in *isa.Instr, sig Signature) (uint32, error) {
+	switch FormatOf(sig) {
+	case FmtALU3Imm, FmtALU2Imm:
+		return uint32(in.Imm), nil
+	case FmtShift:
+		return uint32(in.ShiftAmt), nil
+	case FmtMemImm, FmtMemWide:
+		scale := in.Op.MemSize()
+		mag := in.Imm
+		if mag < 0 {
+			mag = -mag
+		}
+		if int(mag)%scale != 0 {
+			return 0, &RewriteError{Reason: fmt.Sprintf("offset %d not a multiple of access size %d", in.Imm, scale)}
+		}
+		return uint32(mag) / uint32(scale), nil
+	case FmtLdc:
+		return uint32(in.Imm), nil
+	case FmtStack:
+		c, err := canonicalStackList(in.RegList)
+		if err != nil {
+			return 0, &RewriteError{Reason: err.Error()}
+		}
+		return uint32(c), nil
+	case FmtTrap:
+		return uint32(in.Imm), nil
+	}
+	return 0, nil
+}
+
+// cand is one applicable opcode point for an instruction.
+type cand struct {
+	op  int
+	sig Signature
+}
+
+// Candidates returns every opcode point that can express the
+// instruction (cheapest encoding chosen later). An empty result means
+// the translator must rewrite the instruction.
+func (sp *Spec) Candidates(in *isa.Instr) []cand {
+	var out []cand
+	add := func(s Signature) {
+		if op, ok := sp.pointOf[s]; ok {
+			out = append(out, cand{op, s})
+		}
+	}
+	var sig Signature
+	if in.Op == isa.LDC {
+		sig = LdcSig()
+	} else {
+		sig = SigOf(in)
+	}
+
+	// Exact point (MLA is only expressible with rd == rn).
+	if in.Op != isa.MLA || in.Rd == in.Rn {
+		add(sig)
+	}
+	// Two-operand variants.
+	if sig.CanTwoOp() {
+		switch {
+		case sig.Op == isa.MUL && in.Rd == in.Rm:
+			add(sig.AsTwoOp())
+		case sig.Op != isa.MUL && in.Rd == in.Rn:
+			add(sig.AsTwoOp())
+		}
+	}
+	// Implied-base variants.
+	if sig.CanBase() {
+		add(sig.AsBase(in.Rn))
+	}
+	// Memory offsets must scale for any imm-offset candidate.
+	if in.Op.Class() == isa.ClassMem && sig.Mode != isa.AMOffReg {
+		mag := in.Imm
+		if mag < 0 {
+			mag = -mag
+		}
+		if int(mag)%in.Op.MemSize() != 0 {
+			return nil
+		}
+	}
+	return out
+}
+
+// Expressible reports whether the instruction can be encoded (with EXT
+// prefixes as needed) under the spec without rewriting.
+func (sp *Spec) Expressible(in *isa.Instr) bool {
+	for _, c := range sp.Candidates(in) {
+		if _, err := sp.encodeCand(in, c, 0, 0); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Encode lowers one semantic instruction to FITS halfwords under the
+// spec, choosing the cheapest applicable opcode point. addr is the
+// address the first halfword will occupy; targetAddr the resolved
+// branch target.
+//
+// Errors of type *NoPointError and *RewriteError signal that the
+// translator must restructure the instruction.
+func (sp *Spec) Encode(in *isa.Instr, addr, targetAddr uint32) ([]uint16, error) {
+	if in.Op == isa.NOP {
+		return nil, &NoPointError{Sig: SigOf(in)}
+	}
+	cands := sp.Candidates(in)
+	if len(cands) == 0 {
+		if in.Op == isa.MLA && in.Rd != in.Rn {
+			return nil, &RewriteError{Reason: "MLA accumulator must equal destination in 16-bit form"}
+		}
+		return nil, &NoPointError{Sig: SigOf(in)}
+	}
+	var best []uint16
+	var firstErr error
+	for _, c := range cands {
+		ws, err := sp.encodeCand(in, c, addr, targetAddr)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if best == nil || len(ws) < len(best) {
+			best = ws
+		}
+	}
+	if best == nil {
+		return nil, firstErr
+	}
+	return best, nil
+}
+
+// encodeValue encodes a value field under the point's mode. In
+// dictionary mode an empty EXT chain means "field is a table index";
+// a non-empty chain means the field plus payloads carry the value
+// inline (at least one EXT is emitted to mark the case).
+func (sp *Spec) encodeValue(pt *Point, v uint32, bits int) (field uint32, exts []uint32, err error) {
+	if !pt.ImmDict {
+		return sp.splitUnsigned(v, bits)
+	}
+	for i, dv := range pt.Values {
+		if uint32(dv) == v {
+			return uint32(i), nil, nil
+		}
+	}
+	field, exts, err = sp.splitUnsigned(v, bits)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(exts) == 0 {
+		exts = []uint32{0}
+	}
+	return field, exts, nil
+}
+
+func (sp *Spec) encodeCand(in *isa.Instr, c cand, addr, targetAddr uint32) ([]uint16, error) {
+	pt := &sp.Points[c.op]
+	format := FormatOf(c.sig)
+	p := newPacker()
+	p.put(uint32(c.op), sp.K)
+	var exts []uint32
+
+	putValue := func(bits int, v uint32) error {
+		f, e, err := sp.encodeValue(pt, v, bits)
+		if err != nil {
+			return err
+		}
+		p.put(f, bits)
+		exts = e
+		return nil
+	}
+
+	switch format {
+	case FmtALU3Reg:
+		p.put(uint32(in.Rd), 4)
+		p.put(uint32(in.Rn), 4)
+		f, e := sp.narrowReg(in.Rm, sp.NarrowBits())
+		p.put(f, sp.NarrowBits())
+		exts = e
+
+	case FmtALU3Imm:
+		p.put(uint32(in.Rd), 4)
+		p.put(uint32(in.Rn), 4)
+		v, err := valueOf(in, c.sig)
+		if err != nil {
+			return nil, err
+		}
+		if err := putValue(sp.NarrowBits(), v); err != nil {
+			return nil, err
+		}
+
+	case FmtALU2Reg:
+		rd := in.Rd
+		if in.Op.IsCompare() {
+			rd = in.Rn
+		}
+		p.put(uint32(rd), 4)
+		if c.sig.Op == isa.MUL && c.sig.TwoOp {
+			p.put(uint32(in.Rs), 4)
+		} else {
+			p.put(uint32(in.Rm), 4)
+		}
+
+	case FmtALU2Imm:
+		rd := in.Rd
+		if in.Op.IsCompare() {
+			rd = in.Rn
+		}
+		p.put(uint32(rd), 4)
+		v, err := valueOf(in, c.sig)
+		if err != nil {
+			return nil, err
+		}
+		if err := putValue(FieldBits(format, sp.K), v); err != nil {
+			return nil, err
+		}
+
+	case FmtShift:
+		p.put(uint32(in.Rd), 4)
+		p.put(uint32(in.Rm), 4)
+		if err := putValue(sp.NarrowBits(), uint32(in.ShiftAmt)); err != nil {
+			return nil, err
+		}
+
+	case FmtRegShift:
+		p.put(uint32(in.Rd), 4)
+		p.put(uint32(in.Rm), 4)
+		f, e := sp.narrowReg(in.Rs, sp.NarrowBits())
+		p.put(f, sp.NarrowBits())
+		exts = e
+
+	case FmtMul:
+		p.put(uint32(in.Rd), 4)
+		p.put(uint32(in.Rm), 4)
+		f, e := sp.narrowReg(in.Rs, sp.NarrowBits())
+		p.put(f, sp.NarrowBits())
+		exts = e
+
+	case FmtMemImm:
+		p.put(uint32(in.Rd), 4)
+		p.put(uint32(in.Rn), 4)
+		v, err := valueOf(in, c.sig)
+		if err != nil {
+			return nil, err
+		}
+		if err := putValue(sp.NarrowBits(), v); err != nil {
+			return nil, err
+		}
+
+	case FmtMemReg:
+		p.put(uint32(in.Rd), 4)
+		p.put(uint32(in.Rn), 4)
+		f, e := sp.narrowReg(in.Rm, sp.NarrowBits())
+		p.put(f, sp.NarrowBits())
+		exts = e
+
+	case FmtMemWide:
+		p.put(uint32(in.Rd), 4)
+		v, err := valueOf(in, c.sig)
+		if err != nil {
+			return nil, err
+		}
+		if err := putValue(FieldBits(format, sp.K), v); err != nil {
+			return nil, err
+		}
+
+	case FmtLdc:
+		p.put(uint32(in.Rd), 4)
+		if err := putValue(FieldBits(format, sp.K), uint32(in.Imm)); err != nil {
+			return nil, err
+		}
+
+	case FmtStack:
+		v, err := valueOf(in, c.sig)
+		if err != nil {
+			return nil, err
+		}
+		if err := putValue(sp.PayloadBits(), v); err != nil {
+			return nil, err
+		}
+
+	case FmtBranch:
+		disp := (int64(targetAddr) - int64(addr)) / 2
+		f, e, err := sp.splitSigned(int32(disp), sp.DispBits())
+		if err != nil {
+			return nil, err
+		}
+		p.put(f, sp.DispBits())
+		exts = e
+
+	case FmtBX:
+		p.put(uint32(in.Rm), 4)
+
+	case FmtTrap:
+		if err := putValue(sp.PayloadBits(), uint32(in.Imm)); err != nil {
+			return nil, err
+		}
+
+	default:
+		return nil, fmt.Errorf("fits: format %d unhandled", format)
+	}
+
+	out := make([]uint16, 0, len(exts)+1)
+	for _, e := range exts {
+		out = append(out, sp.ext(e))
+	}
+	return append(out, p.w), nil
+}
+
+// EncodePadded is Encode, but guarantees the result occupies at least
+// minWords halfwords by prepending sign-fill EXT prefixes. Only branch
+// displacements are layout-dependent, so only branches may need
+// padding; a sign-fill prefix leaves the decoded displacement
+// unchanged.
+func (sp *Spec) EncodePadded(in *isa.Instr, addr, targetAddr uint32, minWords int) ([]uint16, error) {
+	words, err := sp.Encode(in, addr, targetAddr)
+	if err != nil || len(words) >= minWords {
+		return words, err
+	}
+	if !(in.Op == isa.B || in.Op == isa.BC || in.Op == isa.BL) {
+		return nil, fmt.Errorf("fits: non-branch %s shrank below reserved size", in)
+	}
+	nExts := minWords - 1
+	if nExts > MaxExts {
+		return nil, &RewriteError{Reason: "branch padding exceeds EXT limit"}
+	}
+	pb := sp.PayloadBits()
+	disp := (int64(targetAddr) - int64(addr)) / 2
+	width := sp.DispBits() + nExts*pb
+	u := uint64(disp) & (1<<width - 1)
+	op, ok := sp.PointIndex(SigOf(in))
+	if !ok {
+		return nil, &NoPointError{Sig: SigOf(in)}
+	}
+	out := make([]uint16, 0, minWords)
+	for i := nExts - 1; i >= 0; i-- {
+		out = append(out, sp.ext(uint32(u>>(sp.DispBits()+i*pb))&(1<<pb-1)))
+	}
+	p := newPacker()
+	p.put(uint32(op), sp.K)
+	p.put(uint32(u)&(1<<sp.DispBits()-1), sp.DispBits())
+	return append(out, p.w), nil
+}
+
+// Decoded is the result of decoding one (possibly EXT-prefixed) FITS
+// instruction.
+type Decoded struct {
+	In    isa.Instr
+	Words int // halfwords consumed, including EXT prefixes
+	// BranchTarget is the absolute target address for B/BC/BL.
+	BranchTarget uint32
+	IsBranch     bool
+}
+
+// DecodeAt interprets the instruction whose first halfword sits at
+// addr, reading halfwords through read — this is the programmable
+// decoder: it consults only the Spec tables.
+func (sp *Spec) DecodeAt(read func(addr uint32) uint16, addr uint32) (Decoded, error) {
+	var exts []uint32
+	a := addr
+	var w uint16
+	for {
+		w = read(a)
+		op := int(w >> (16 - sp.K))
+		if op != sp.extPoint {
+			break
+		}
+		exts = append(exts, uint32(w)&(1<<sp.PayloadBits()-1))
+		if len(exts) > MaxExts {
+			return Decoded{}, fmt.Errorf("fits: more than %d EXT prefixes at %#x", MaxExts, addr)
+		}
+		a += 2
+	}
+	words := len(exts) + 1
+	op := int(w >> (16 - sp.K))
+	pt := &sp.Points[op]
+	u := &unpacker{w: w, pos: 16 - sp.K}
+	pb := sp.PayloadBits()
+
+	joinRaw := func() uint32 {
+		v := uint32(0)
+		for _, e := range exts {
+			v = v<<pb | e
+		}
+		return v
+	}
+	// value resolves a value field under the point's mode.
+	value := func(field uint32, bits int) (uint32, error) {
+		if pt.ImmDict && len(exts) == 0 {
+			if int(field) >= len(pt.Values) {
+				return 0, fmt.Errorf("fits: value index %d out of range for %q", field, pt.Sig)
+			}
+			return uint32(pt.Values[field]), nil
+		}
+		return joinRaw()<<bits | field, nil
+	}
+	extReg := func(field uint32, bits int) (isa.Reg, error) {
+		if bits >= 4 {
+			return isa.Reg(field), nil
+		}
+		if len(exts) > 0 {
+			return isa.Reg(exts[len(exts)-1] & 0xf), nil
+		}
+		if int(field) >= len(sp.Window) {
+			return 0, fmt.Errorf("fits: window code %d out of range", field)
+		}
+		return sp.Window[field], nil
+	}
+
+	d := Decoded{Words: words}
+	d.In.TargetIdx = -1
+
+	switch pt.Kind {
+	case PointFree:
+		return d, fmt.Errorf("fits: unassigned opcode %d at %#x", op, addr)
+	case PointExt:
+		return d, fmt.Errorf("fits: dangling EXT at %#x", addr)
+	}
+
+	sig := pt.Sig
+	in := &d.In
+	in.Op = sig.Op
+	in.Cond = sig.Cond
+	in.SetFlags = sig.SetFlags
+	format := FormatOf(sig)
+
+	switch format {
+	case FmtALU3Reg:
+		in.Rd = isa.Reg(u.take(4))
+		in.Rn = isa.Reg(u.take(4))
+		rm, err := extReg(u.take(sp.NarrowBits()), sp.NarrowBits())
+		if err != nil {
+			return d, err
+		}
+		in.Rm = rm
+		in.Shift = sig.Shift
+		in.ShiftAmt = sig.ShiftAmt
+
+	case FmtALU3Imm:
+		in.Rd = isa.Reg(u.take(4))
+		in.Rn = isa.Reg(u.take(4))
+		v, err := value(u.take(sp.NarrowBits()), sp.NarrowBits())
+		if err != nil {
+			return d, err
+		}
+		in.Imm = int32(v)
+		in.HasImm = true
+
+	case FmtALU2Reg:
+		rd := isa.Reg(u.take(4))
+		other := isa.Reg(u.take(4))
+		switch {
+		case sig.Op.IsCompare():
+			in.Rn = rd
+			in.Rm = other
+		case sig.Op == isa.MUL && sig.TwoOp:
+			in.Rd = rd
+			in.Rm = rd
+			in.Rs = other
+		default:
+			in.Rd = rd
+			in.Rm = other
+			if sig.TwoOp {
+				in.Rn = rd
+			}
+		}
+		in.Shift = sig.Shift
+		in.ShiftAmt = sig.ShiftAmt
+
+	case FmtALU2Imm:
+		rd := isa.Reg(u.take(4))
+		if sig.Op.IsCompare() {
+			in.Rn = rd
+		} else {
+			in.Rd = rd
+		}
+		v, err := value(u.take(FieldBits(format, sp.K)), FieldBits(format, sp.K))
+		if err != nil {
+			return d, err
+		}
+		in.Imm = int32(v)
+		in.HasImm = true
+		if sig.TwoOp {
+			in.Rn = rd
+		}
+
+	case FmtShift:
+		in.Rd = isa.Reg(u.take(4))
+		in.Rm = isa.Reg(u.take(4))
+		v, err := value(u.take(sp.NarrowBits()), sp.NarrowBits())
+		if err != nil {
+			return d, err
+		}
+		in.Shift = sig.Shift
+		in.ShiftAmt = uint8(v)
+
+	case FmtRegShift:
+		in.Rd = isa.Reg(u.take(4))
+		in.Rm = isa.Reg(u.take(4))
+		rs, err := extReg(u.take(sp.NarrowBits()), sp.NarrowBits())
+		if err != nil {
+			return d, err
+		}
+		in.Rs = rs
+		in.Shift = sig.Shift
+		in.RegShift = true
+
+	case FmtMul:
+		in.Rd = isa.Reg(u.take(4))
+		in.Rm = isa.Reg(u.take(4))
+		rs, err := extReg(u.take(sp.NarrowBits()), sp.NarrowBits())
+		if err != nil {
+			return d, err
+		}
+		in.Rs = rs
+		if sig.Op == isa.MLA {
+			in.Rn = in.Rd
+		}
+
+	case FmtMemImm, FmtMemWide:
+		in.Rd = isa.Reg(u.take(4))
+		var bits int
+		if format == FmtMemImm {
+			bits = sp.NarrowBits()
+			in.Rn = isa.Reg(u.take(4))
+		} else {
+			bits = FieldBits(format, sp.K)
+			in.Rn = sig.Base
+		}
+		in.Mode = sig.Mode
+		v, err := value(u.take(bits), bits)
+		if err != nil {
+			return d, err
+		}
+		in.Imm = int32(v * uint32(sig.Op.MemSize()))
+		if sig.NegOff {
+			in.Imm = -in.Imm
+		}
+
+	case FmtMemReg:
+		in.Rd = isa.Reg(u.take(4))
+		in.Rn = isa.Reg(u.take(4))
+		rm, err := extReg(u.take(sp.NarrowBits()), sp.NarrowBits())
+		if err != nil {
+			return d, err
+		}
+		in.Rm = rm
+		in.Mode = isa.AMOffReg
+		in.ShiftAmt = sig.ShiftAmt
+
+	case FmtLdc:
+		in.Rd = isa.Reg(u.take(4))
+		v, err := value(u.take(FieldBits(format, sp.K)), FieldBits(format, sp.K))
+		if err != nil {
+			return d, err
+		}
+		in.Imm = int32(v)
+		in.HasImm = true
+
+	case FmtStack:
+		v, err := value(u.take(pb), pb)
+		if err != nil {
+			return d, err
+		}
+		in.RegList = expandStackList(uint16(v))
+
+	case FmtBranch:
+		inline := u.take(sp.DispBits())
+		width := sp.DispBits() + len(exts)*pb
+		full := joinRaw()<<sp.DispBits() | inline
+		disp := int64(full)
+		if full&(1<<(width-1)) != 0 {
+			disp = int64(full) - 1<<width
+		}
+		d.IsBranch = true
+		d.BranchTarget = uint32(int64(addr) + 2*disp)
+
+	case FmtBX:
+		in.Rm = isa.Reg(u.take(4))
+
+	case FmtTrap:
+		v, err := value(u.take(pb), pb)
+		if err != nil {
+			return d, err
+		}
+		in.Imm = int32(v)
+		in.HasImm = true
+	}
+	return d, nil
+}

@@ -1,0 +1,190 @@
+package fits
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"powerfits/internal/isa"
+)
+
+// This file implements the *configure* stage of the FITS design flow
+// (the paper's Figure 1): after synthesis, "the programmable decoder is
+// configured using the instruction decoding and register organization
+// specified by the compiler" and the result is "downloaded to a
+// non-volatile state in the FITS processor". MarshalConfig produces that
+// downloadable image — the exact contents of the decoder tables — and
+// UnmarshalConfig restores a Spec from it, so a simulator (or, in the
+// paper's world, a chip) needs nothing but this blob to execute a FITS
+// binary.
+
+// configMagic identifies a FITS decoder-configuration image.
+const configMagic = 0x46495453 // "FITS"
+
+// configVersion is bumped whenever the layout changes.
+const configVersion = 1
+
+// sigBytes is the fixed serialized size of a Signature.
+const sigBytes = 12
+
+func putSig(out []byte, s Signature) []byte {
+	var flags uint16
+	set := func(bit int, v bool) {
+		if v {
+			flags |= 1 << bit
+		}
+	}
+	set(0, s.SetFlags)
+	set(1, s.OperandImm)
+	set(2, s.ShiftInField)
+	set(3, s.RegShift)
+	set(4, s.NegOff)
+	set(5, s.TwoOp)
+	set(6, s.HasBase)
+	out = append(out,
+		byte(s.Op), byte(s.Cond), byte(s.Shift), s.ShiftAmt,
+		byte(s.Mode), byte(s.Base))
+	out = binary.LittleEndian.AppendUint16(out, flags)
+	// Reserved padding keeps the record aligned and extensible.
+	return append(out, 0, 0, 0, 0)
+}
+
+func getSig(in []byte) (Signature, error) {
+	if len(in) < sigBytes {
+		return Signature{}, fmt.Errorf("fits: truncated signature record")
+	}
+	flags := binary.LittleEndian.Uint16(in[6:])
+	s := Signature{
+		Op:           isa.Op(in[0]),
+		Cond:         isa.Cond(in[1]),
+		Shift:        isa.Shift(in[2]),
+		ShiftAmt:     in[3],
+		Mode:         isa.AddrMode(in[4]),
+		Base:         isa.Reg(in[5]),
+		SetFlags:     flags&(1<<0) != 0,
+		OperandImm:   flags&(1<<1) != 0,
+		ShiftInField: flags&(1<<2) != 0,
+		RegShift:     flags&(1<<3) != 0,
+		NegOff:       flags&(1<<4) != 0,
+		TwoOp:        flags&(1<<5) != 0,
+		HasBase:      flags&(1<<6) != 0,
+	}
+	if int(s.Op) >= isa.NumOps || s.Cond > isa.AL {
+		return s, fmt.Errorf("fits: corrupt signature record")
+	}
+	return s, nil
+}
+
+// MarshalConfig serializes the spec as the decoder-configuration image.
+func (sp *Spec) MarshalConfig() []byte {
+	out := binary.LittleEndian.AppendUint32(nil, configMagic)
+	out = append(out, configVersion, byte(sp.K), byte(len(sp.Window)), 0)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(sp.Name)))
+	out = append(out, sp.Name...)
+	for _, r := range sp.Window {
+		out = append(out, byte(r))
+	}
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(sp.Points)))
+	for _, pt := range sp.Points {
+		kind := byte(pt.Kind)
+		if pt.ImmDict {
+			kind |= 0x80
+		}
+		out = append(out, kind)
+		out = putSig(out, pt.Sig)
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(pt.Values)))
+		for _, v := range pt.Values {
+			out = binary.LittleEndian.AppendUint32(out, uint32(v))
+		}
+	}
+	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+}
+
+// UnmarshalConfig restores a Spec from a decoder-configuration image,
+// validating the checksum and every table invariant.
+func UnmarshalConfig(data []byte) (*Spec, error) {
+	if len(data) < 14 {
+		return nil, fmt.Errorf("fits: config too short")
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("fits: config checksum mismatch")
+	}
+	if binary.LittleEndian.Uint32(body) != configMagic {
+		return nil, fmt.Errorf("fits: bad config magic")
+	}
+	if body[4] != configVersion {
+		return nil, fmt.Errorf("fits: unsupported config version %d", body[4])
+	}
+	k := int(body[5])
+	nWindow := int(body[6])
+	pos := 8
+	take := func(n int) ([]byte, error) {
+		if pos+n > len(body) {
+			return nil, fmt.Errorf("fits: truncated config")
+		}
+		b := body[pos : pos+n]
+		pos += n
+		return b, nil
+	}
+
+	nameLen, err := take(2)
+	if err != nil {
+		return nil, err
+	}
+	nameB, err := take(int(binary.LittleEndian.Uint16(nameLen)))
+	if err != nil {
+		return nil, err
+	}
+	winB, err := take(nWindow)
+	if err != nil {
+		return nil, err
+	}
+	window := make([]isa.Reg, nWindow)
+	for i, b := range winB {
+		window[i] = isa.Reg(b)
+	}
+
+	nPointsB, err := take(2)
+	if err != nil {
+		return nil, err
+	}
+	nPoints := int(binary.LittleEndian.Uint16(nPointsB))
+	points := make([]Point, 0, nPoints)
+	for i := 0; i < nPoints; i++ {
+		kindB, err := take(1)
+		if err != nil {
+			return nil, err
+		}
+		pt := Point{Kind: PointKind(kindB[0] & 0x7f), ImmDict: kindB[0]&0x80 != 0}
+		sigB, err := take(sigBytes)
+		if err != nil {
+			return nil, err
+		}
+		if pt.Sig, err = getSig(sigB); err != nil {
+			return nil, err
+		}
+		nValsB, err := take(2)
+		if err != nil {
+			return nil, err
+		}
+		nVals := int(binary.LittleEndian.Uint16(nValsB))
+		for v := 0; v < nVals; v++ {
+			vb, err := take(4)
+			if err != nil {
+				return nil, err
+			}
+			pt.Values = append(pt.Values, int32(binary.LittleEndian.Uint32(vb)))
+		}
+		points = append(points, pt)
+	}
+	if pos != len(body) {
+		return nil, fmt.Errorf("fits: %d trailing config bytes", len(body)-pos)
+	}
+	return NewSpec(string(nameB), k, points, window)
+}
+
+// ConfigBytes returns the size of the decoder-configuration image —
+// the amount of non-volatile state the FITS processor must hold for
+// this application.
+func (sp *Spec) ConfigBytes() int { return len(sp.MarshalConfig()) }

@@ -1,0 +1,150 @@
+package thumb
+
+import (
+	"testing"
+
+	"powerfits/internal/asm"
+	"powerfits/internal/isa"
+)
+
+// sizeOf builds a one-instruction function around the given emitter and
+// returns the Thumb halfword cost of that instruction.
+func sizeOf(t *testing.T, emit func(b *asm.Builder)) int {
+	t.Helper()
+	b := asm.New("t")
+	b.Func("main")
+	emit(b)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Translate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Halfwords[0]
+}
+
+func TestCostRules(t *testing.T) {
+	cases := []struct {
+		name string
+		emit func(b *asm.Builder)
+		want int
+	}{
+		{"low add 3-addr", func(b *asm.Builder) { b.Add(isa.R0, isa.R1, isa.R2) }, 1},
+		{"small add imm", func(b *asm.Builder) { b.AddI(isa.R0, isa.R1, 4) }, 1},
+		{"mov imm small", func(b *asm.Builder) { b.MovI(isa.R0, 200) }, 1},
+		{"two-address and", func(b *asm.Builder) { b.And(isa.R0, isa.R0, isa.R1) }, 1},
+		{"three-address and", func(b *asm.Builder) { b.And(isa.R0, isa.R1, isa.R2) }, 2},
+		{"shifted operand", func(b *asm.Builder) { b.AddShift(isa.R0, isa.R0, isa.R1, isa.LSL, 2) }, 2},
+		{"shift instr", func(b *asm.Builder) { b.Lsl(isa.R0, isa.R1, 4) }, 1},
+		{"predicated mov", func(b *asm.Builder) { b.MovIIf(isa.EQ, isa.R0, 1) }, 2},
+		{"word load small offset", func(b *asm.Builder) { b.Ldr(isa.R0, isa.R1, 8) }, 1},
+		{"word load large offset", func(b *asm.Builder) { b.Ldr(isa.R0, isa.R1, 2048) }, 2},
+		{"sp-relative load", func(b *asm.Builder) { b.Ldr(isa.R0, isa.SP, 512) }, 1},
+		{"post-index load", func(b *asm.Builder) { b.MemPost(isa.LDRB, isa.R0, isa.R1, 1) }, 2},
+		{"push", func(b *asm.Builder) { b.Push(isa.R4, isa.LR) }, 1},
+		{"bx", func(b *asm.Builder) { b.Emit(isa.Instr{Op: isa.BX, Cond: isa.AL, Rm: isa.LR}) }, 1},
+		{"swi", func(b *asm.Builder) { b.Swi(1) }, 1},
+		{"min (not in thumb)", func(b *asm.Builder) { b.Min(isa.R0, isa.R1, isa.R2) }, 3},
+	}
+	for _, c := range cases {
+		if got := sizeOf(t, c.emit); got != c.want {
+			t.Errorf("%s: %d halfwords, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCallCost(t *testing.T) {
+	b := asm.New("call")
+	b.Func("main")
+	b.Bl("f")
+	b.Exit()
+	b.Func("f")
+	b.Ret()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Translate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Halfwords[0] != 2 {
+		t.Errorf("BL costs %d halfwords, want 2 (32-bit pair)", s.Halfwords[0])
+	}
+}
+
+func TestLiteralPoolAccounting(t *testing.T) {
+	b := asm.New("lits")
+	b.Func("main")
+	b.Ldc(isa.R0, 0x12345678)
+	b.Ldc(isa.R1, 0x12345678) // shared
+	b.Ldc(isa.R2, 0x0BADF00D)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Translate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two unique literals = 8 pool bytes, plus 2 alignment bytes if the
+	// function has an odd halfword count.
+	if s.PoolBytes != 8 && s.PoolBytes != 10 {
+		t.Errorf("pool bytes = %d", s.PoolBytes)
+	}
+	if s.TotalBytes() != s.CodeBytes+s.PoolBytes {
+		t.Error("TotalBytes inconsistent")
+	}
+}
+
+func TestHighRegisterRanking(t *testing.T) {
+	// A program that works entirely in r8..r10 must see them treated
+	// as low registers (the Thumb compiler would allocate them low).
+	b := asm.New("high")
+	b.Func("main")
+	for i := 0; i < 10; i++ {
+		b.And(isa.R8, isa.R8, isa.R9)
+		b.Ldr(isa.R10, isa.R8, 4)
+	}
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Translate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Halfwords[0] != 1 || s.Halfwords[1] != 1 {
+		t.Errorf("hot high registers should rank low: costs %d, %d", s.Halfwords[0], s.Halfwords[1])
+	}
+}
+
+func TestThumbAlwaysSmallerThanTwiceARM(t *testing.T) {
+	// Sanity bound: a Thumb halfword count can never exceed the
+	// per-instruction worst case the rules define.
+	b := asm.New("bound")
+	b.Func("main")
+	b.MovImm32(isa.R0, 0xDEADBEEF)
+	b.AddShift(isa.R1, isa.R1, isa.R0, isa.LSR, 7)
+	b.MovIIf(isa.LT, isa.R2, 3)
+	b.Qadd(isa.R3, isa.R1, isa.R2)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Translate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, hw := range s.Halfwords {
+		if hw < 1 || hw > 5 {
+			t.Errorf("instr %d (%s): %d halfwords out of sane range", i, &p.Instrs[i], hw)
+		}
+	}
+}

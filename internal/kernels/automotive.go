@@ -1,0 +1,287 @@
+package kernels
+
+import (
+	"powerfits/internal/asm"
+	"powerfits/internal/isa"
+	"powerfits/internal/program"
+)
+
+// bitcount — MiBench automotive/bitcount: counts the set bits of a word
+// array with four different algorithms (shift loop, Kernighan's trick,
+// nibble lookup table, SWAR reduction) and folds all four totals.
+
+func bitcountWords(scale int) []uint32 { return randWords(0xB17C, 1024*scale) }
+
+func refBitcount(scale int) []uint32 {
+	words := bitcountWords(scale)
+	var t1, t2, t3, t4 uint32
+	nib := [16]uint32{0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4}
+	for _, w := range words {
+		// 1: shift loop.
+		v := w
+		for v != 0 {
+			t1 += v & 1
+			v >>= 1
+		}
+		// 2: Kernighan.
+		v = w
+		for v != 0 {
+			v &= v - 1
+			t2++
+		}
+		// 3: nibble table.
+		v = w
+		for i := 0; i < 8; i++ {
+			t3 += nib[v&0xF]
+			v >>= 4
+		}
+		// 4: SWAR.
+		v = w
+		v = v - (v >> 1 & 0x55555555)
+		v = (v & 0x33333333) + (v >> 2 & 0x33333333)
+		v = (v + v>>4) & 0x0F0F0F0F
+		t4 += v * 0x01010101 >> 24
+	}
+	h := mix(mix(mix(mix(0, t1), t2), t3), t4)
+	return []uint32{h}
+}
+
+func buildBitcount(scale int) *program.Program {
+	b := asm.New("bitcount")
+	words := bitcountWords(scale)
+	b.Words("words", words)
+	b.Words("nib", []uint32{0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4})
+
+	b.Func("main")
+	b.Push(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Lea(r10, "words")
+	b.MovImm32(r11, uint32(len(words)))
+	b.Lea(r9, "nib")
+	b.MovI(r4, 0) // t1
+	b.MovI(r5, 0) // t2
+	b.MovI(r6, 0) // t3
+	b.MovI(r7, 0) // t4
+	b.Label("bc_word")
+	b.MemPost(isa.LDR, r8, r10, 4)
+	// Method 1: shift loop.
+	b.Mov(r0, r8)
+	b.Label("bc_m1")
+	b.CmpI(r0, 0)
+	b.Beq("bc_m1_done")
+	b.AndI(r1, r0, 1)
+	b.Add(r4, r4, r1)
+	b.Lsr(r0, r0, 1)
+	b.B("bc_m1")
+	b.Label("bc_m1_done")
+	// Method 2: Kernighan.
+	b.Mov(r0, r8)
+	b.Label("bc_m2")
+	b.CmpI(r0, 0)
+	b.Beq("bc_m2_done")
+	b.SubI(r1, r0, 1)
+	b.And(r0, r0, r1)
+	b.AddI(r5, r5, 1)
+	b.B("bc_m2")
+	b.Label("bc_m2_done")
+	// Method 3: nibble table, 8 iterations.
+	b.Mov(r0, r8)
+	b.MovI(r2, 8)
+	b.Label("bc_m3")
+	b.AndI(r1, r0, 0xF)
+	b.MemReg(isa.LDR, r1, r9, r1, 2)
+	b.Add(r6, r6, r1)
+	b.Lsr(r0, r0, 4)
+	b.SubsI(r2, r2, 1)
+	b.Bne("bc_m3")
+	// Method 4: SWAR.
+	b.MovImm32(r2, 0x55555555)
+	b.OpShift(isa.AND, r1, r2, r8, isa.LSR, 1) // (v>>1) & 0x5555...
+	b.Sub(r0, r8, r1)
+	b.MovImm32(r2, 0x33333333)
+	b.And(r1, r0, r2)
+	b.OpShift(isa.AND, r0, r2, r0, isa.LSR, 2)
+	b.Add(r0, r1, r0)
+	b.AddShift(r0, r0, r0, isa.LSR, 4)
+	b.MovImm32(r2, 0x0F0F0F0F)
+	b.And(r0, r0, r2)
+	b.MovImm32(r2, 0x01010101)
+	b.Mul(r0, r0, r2)
+	b.Lsr(r0, r0, 24)
+	b.Add(r7, r7, r0)
+	// Next word.
+	b.SubsI(r11, r11, 1)
+	b.Bne("bc_word")
+	// h = mix(mix(mix(mix(0,t1),t2),t3),t4)
+	b.MovI(r0, 0)
+	b.Ldc(r2, 16777619)
+	for _, t := range []isa.Reg{r4, r5, r6, r7} {
+		b.Eor(r0, r0, t)
+		b.Mul(r0, r0, r2)
+		b.AddI(r0, r0, 1)
+	}
+	b.EmitWord()
+	b.Pop(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Exit()
+
+	return b.MustBuild()
+}
+
+// qsort — MiBench automotive/qsort: iterative quicksort (Lomuto
+// partition, explicit work stack) over signed words, then an order
+// check and sampled hash of the sorted data.
+
+func qsortWords(scale int) []uint32 { return randWords(0x9507, 768*scale) }
+
+func refQsort(scale int) []uint32 {
+	raw := qsortWords(scale)
+	arr := make([]int32, len(raw))
+	for i, v := range raw {
+		arr[i] = int32(v)
+	}
+	// Mirror the kernel's exact quicksort (result is simply sorted
+	// order, so any correct sort matches).
+	var sortRange func(lo, hi int)
+	sortRange = func(lo, hi int) {
+		for lo < hi {
+			pivot := arr[hi]
+			i := lo - 1
+			for j := lo; j < hi; j++ {
+				if arr[j] <= pivot {
+					i++
+					arr[i], arr[j] = arr[j], arr[i]
+				}
+			}
+			arr[i+1], arr[hi] = arr[hi], arr[i+1]
+			p := i + 1
+			sortRange(lo, p-1)
+			lo = p + 1
+		}
+	}
+	sortRange(0, len(arr)-1)
+	h := uint32(0)
+	ordered := uint32(1)
+	for i := range arr {
+		if i > 0 && arr[i-1] > arr[i] {
+			ordered = 0
+		}
+		if i%7 == 0 {
+			h = mix(h, uint32(arr[i]))
+		}
+	}
+	return []uint32{h ^ ordered}
+}
+
+func buildQsort(scale int) *program.Program {
+	b := asm.New("qsort")
+	words := qsortWords(scale)
+	n := len(words)
+	b.Words("arr", words)
+	b.Zero("qstack", 8*(2*n+16))
+
+	b.Func("main")
+	b.Bl("quicksort")
+	b.Bl("verify")
+	b.EmitWord()
+	b.Exit()
+
+	// quicksort: r4 = arr base, r5 = work-stack ptr (grows up, pairs of
+	// byte offsets), r6 = lo, r7 = hi, r8 = i, r9 = j, r10 = pivot,
+	// r0-r3 temps.
+	b.Func("quicksort")
+	b.Push(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Lea(r4, "arr")
+	b.Lea(r5, "qstack")
+	b.MovI(r0, 0)
+	b.MovImm32(r1, uint32(4*(n-1)))
+	b.MemPost(isa.STR, r0, r5, 4)
+	b.MemPost(isa.STR, r1, r5, 4)
+	b.Label("qs_pop")
+	// Empty when the stack pointer is back at the base.
+	b.Lea(r0, "qstack")
+	b.Cmp(r5, r0)
+	b.Beq("qs_done")
+	b.Ldr(r7, r5, -4) // hi
+	b.Ldr(r6, r5, -8) // lo
+	b.SubI(r5, r5, 8)
+	b.Cmp(r6, r7)
+	b.Bge("qs_pop")
+	// Lomuto partition: pivot = arr[hi].
+	b.MemReg(isa.LDR, r10, r4, r7, 0)
+	b.SubI(r8, r6, 4) // i = lo - 1 (byte offsets)
+	b.Mov(r9, r6)
+	b.Label("qs_part")
+	b.Cmp(r9, r7)
+	b.Bge("qs_part_done")
+	b.MemReg(isa.LDR, r0, r4, r9, 0)
+	b.Cmp(r0, r10)
+	b.Bgt("qs_next")
+	b.AddI(r8, r8, 4)
+	b.MemReg(isa.LDR, r1, r4, r8, 0)
+	b.MemReg(isa.STR, r0, r4, r8, 0)
+	b.MemReg(isa.STR, r1, r4, r9, 0)
+	b.Label("qs_next")
+	b.AddI(r9, r9, 4)
+	b.B("qs_part")
+	b.Label("qs_part_done")
+	// Swap arr[i+1], arr[hi]; p = i+1.
+	b.AddI(r8, r8, 4)
+	b.MemReg(isa.LDR, r0, r4, r8, 0)
+	b.MemReg(isa.LDR, r1, r4, r7, 0)
+	b.MemReg(isa.STR, r1, r4, r8, 0)
+	b.MemReg(isa.STR, r0, r4, r7, 0)
+	// Push (lo, p-4) and (p+4, hi).
+	b.SubI(r0, r8, 4)
+	b.MemPost(isa.STR, r6, r5, 4)
+	b.MemPost(isa.STR, r0, r5, 4)
+	b.AddI(r0, r8, 4)
+	b.MemPost(isa.STR, r0, r5, 4)
+	b.MemPost(isa.STR, r7, r5, 4)
+	b.B("qs_pop")
+	b.Label("qs_done")
+	b.Pop(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Ret()
+
+	// verify: ordered flag + sampled hash → r0.
+	b.Func("verify")
+	b.Push(r4, r5, r6, lr)
+	b.Lea(r1, "arr")
+	b.MovImm32(r2, uint32(n))
+	b.MovI(r0, 0) // hash
+	b.MovI(r4, 1) // ordered
+	b.MovI(r5, 0) // index
+	b.Ldc(r6, 16777619)
+	b.Ldc(r3, -2147483648) // previous = INT32_MIN
+	b.Label("v_loop")
+	b.MemPost(isa.LDR, r7, r1, 4)
+	b.Cmp(r3, r7)
+	b.MovIIf(isa.GT, r4, 0)
+	b.Mov(r3, r7)
+	// if index%7 == 0: hash
+	b.MovI(r8, 7)
+	b.Mov(r10, r5)
+	b.Label("v_mod")
+	b.Cmp(r10, r8)
+	b.Blt("v_mod_done")
+	b.Sub(r10, r10, r8)
+	b.B("v_mod")
+	b.Label("v_mod_done")
+	b.CmpI(r10, 0)
+	b.Bne("v_skip")
+	b.Eor(r0, r0, r7)
+	b.Mul(r0, r0, r6)
+	b.AddI(r0, r0, 1)
+	b.Label("v_skip")
+	b.AddI(r5, r5, 1)
+	b.SubsI(r2, r2, 1)
+	b.Bne("v_loop")
+	b.Eor(r0, r0, r4)
+	b.Pop(r4, r5, r6, lr)
+	b.Ret()
+
+	return b.MustBuild()
+}
+
+func init() {
+	register(Kernel{Name: "bitcount", Group: "automotive", Build: buildBitcount, Ref: refBitcount, DefaultScale: 8})
+	register(Kernel{Name: "qsort", Group: "automotive", Build: buildQsort, Ref: refQsort, DefaultScale: 8})
+}

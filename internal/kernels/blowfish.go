@@ -1,0 +1,213 @@
+package kernels
+
+import (
+	"powerfits/internal/asm"
+	"powerfits/internal/isa"
+	"powerfits/internal/program"
+)
+
+// blowfish — Blowfish-structured Feistel cipher (MiBench
+// security/blowfish): an 18-word P-array and four 256-entry S-boxes
+// drive 16 unrolled rounds of F(x) = ((S0[a]+S1[b])^S2[c])+S3[d]. The
+// kernel performs the full key schedule (P/S whitening by repeated
+// self-encryption, exactly as Blowfish does) and then encrypts the data
+// buffer in ECB mode. Initial P/S values come from the shared PRNG
+// rather than the digits of π; the structure and instruction mix are
+// identical.
+
+func bfBlockCount(scale int) int { return 192 * scale }
+
+func bfInitP() []uint32 { return randWords(0xB10F15, 18) }
+func bfInitS() []uint32 { return randWords(0xB10F55, 4*256) }
+func bfKey() []uint32   { return randWords(0xB10FEE, 4) }
+func bfData(scale int) []uint32 {
+	return randWords(0xB10FDA, 2*bfBlockCount(scale))
+}
+
+// refBFEncrypt runs the 16 alternating rounds plus output whitening,
+// matching the assembly's swap-free structure.
+func refBFEncrypt(p *[18]uint32, s *[4][256]uint32, l, r uint32) (uint32, uint32) {
+	f := func(x uint32) uint32 {
+		return ((s[0][x>>24] + s[1][x>>16&0xff]) ^ s[2][x>>8&0xff]) + s[3][x&0xff]
+	}
+	for i := 0; i < 16; i += 2 {
+		l ^= p[i]
+		r ^= f(l)
+		r ^= p[i+1]
+		l ^= f(r)
+	}
+	r ^= p[16]
+	l ^= p[17]
+	return r, l // swapped output halves
+}
+
+func refBlowfish(scale int) []uint32 {
+	var p [18]uint32
+	var s [4][256]uint32
+	copy(p[:], bfInitP())
+	sflat := bfInitS()
+	for i := 0; i < 4; i++ {
+		copy(s[i][:], sflat[i*256:])
+	}
+	key := bfKey()
+	for i := 0; i < 18; i++ {
+		p[i] ^= key[i%4]
+	}
+	// Key schedule: repeated self-encryption.
+	var l, r uint32
+	for i := 0; i < 18; i += 2 {
+		l, r = refBFEncrypt(&p, &s, l, r)
+		p[i], p[i+1] = l, r
+	}
+	for b := 0; b < 4; b++ {
+		for j := 0; j < 256; j += 2 {
+			l, r = refBFEncrypt(&p, &s, l, r)
+			s[b][j], s[b][j+1] = l, r
+		}
+	}
+	// ECB encryption of the buffer.
+	data := bfData(scale)
+	h := uint32(0)
+	for i := 0; i < len(data); i += 2 {
+		cl, cr := refBFEncrypt(&p, &s, data[i], data[i+1])
+		h = mix(h, cl)
+		h = mix(h, cr)
+	}
+	return []uint32{h}
+}
+
+func buildBlowfish(scale int) *program.Program {
+	b := asm.New("blowfish")
+	b.Words("P", bfInitP())
+	b.Words("S", bfInitS())
+	b.Words("key", bfKey())
+	b.Words("data", bfData(scale))
+
+	blocks := bfBlockCount(scale)
+
+	b.Func("main")
+	b.Push(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Bl("key_sched")
+	// Encrypt the buffer: r10 = data ptr, counter on the stack.
+	b.Lea(r10, "data")
+	b.MovImm32(r0, uint32(blocks))
+	b.Push(r0)
+	b.MovI(r9, 0) // hash
+	b.Label("bf_data")
+	b.Ldr(r4, r10, 0)
+	b.Ldr(r5, r10, 4)
+	b.Bl("bf_encrypt")
+	b.MemPost(isa.STR, r4, r10, 4)
+	b.MemPost(isa.STR, r5, r10, 4)
+	// hash both halves
+	b.Ldc(r1, 16777619)
+	b.Eor(r9, r9, r4)
+	b.Mul(r9, r9, r1)
+	b.AddI(r9, r9, 1)
+	b.Eor(r9, r9, r5)
+	b.Mul(r9, r9, r1)
+	b.AddI(r9, r9, 1)
+	b.Ldr(r0, sp, 0)
+	b.SubsI(r0, r0, 1)
+	b.Str(r0, sp, 0)
+	b.Bne("bf_data")
+	b.Pop(r0)
+	b.Mov(r0, r9)
+	b.EmitWord()
+	b.Pop(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Exit()
+
+	// bf_encrypt: L in r4, R in r5 → ciphertext halves in r4, r5.
+	// r6 = S base, r7 = P ptr, r0-r3 temps.
+	b.Func("bf_encrypt")
+	b.Push(r6, r7, lr)
+	b.Lea(r6, "S")
+	b.Lea(r7, "P")
+	// emitF computes F(x) into r3 using r0 as scratch.
+	emitF := func(x isa.Reg) {
+		b.Lsr(r3, x, 24)
+		b.MemReg(isa.LDR, r3, r6, r3, 2)
+		b.Lsr(r0, x, 16)
+		b.AndI(r0, r0, 0xFF)
+		b.AddI(r0, r0, 256) // S1 offset in words
+		b.MemReg(isa.LDR, r0, r6, r0, 2)
+		b.Add(r3, r3, r0)
+		b.Lsr(r0, x, 8)
+		b.AndI(r0, r0, 0xFF)
+		b.AddI(r0, r0, 512)
+		b.MemReg(isa.LDR, r0, r6, r0, 2)
+		b.Eor(r3, r3, r0)
+		b.AndI(r0, x, 0xFF)
+		b.AddI(r0, r0, 768)
+		b.MemReg(isa.LDR, r0, r6, r0, 2)
+		b.Add(r3, r3, r0)
+	}
+	for i := 0; i < 16; i += 2 {
+		b.MemPost(isa.LDR, r1, r7, 4)
+		b.Eor(r4, r4, r1) // L ^= P[i]
+		emitF(r4)
+		b.Eor(r5, r5, r3) // R ^= F(L)
+		b.MemPost(isa.LDR, r1, r7, 4)
+		b.Eor(r5, r5, r1) // R ^= P[i+1]
+		emitF(r5)
+		b.Eor(r4, r4, r3) // L ^= F(R)
+	}
+	b.Ldr(r1, r7, 0)
+	b.Eor(r5, r5, r1) // R ^= P[16]
+	b.Ldr(r1, r7, 4)
+	b.Eor(r4, r4, r1) // L ^= P[17]
+	// Swap halves for output.
+	b.Mov(r1, r4)
+	b.Mov(r4, r5)
+	b.Mov(r5, r1)
+	b.Pop(r6, r7, lr)
+	b.Ret()
+
+	// key_sched: whiten P with the key, then refill P and S by
+	// repeated self-encryption. r8 = target ptr, r9 = count, r4/r5 = L/R.
+	b.Func("key_sched")
+	b.Push(r4, r5, r6, r7, r8, r9, lr)
+	// P[i] ^= key[i%4]
+	b.Lea(r8, "P")
+	b.Lea(r6, "key")
+	b.MovI(r9, 18)
+	b.MovI(r7, 0) // key index (bytes, mod 16)
+	b.Label("ks_xor")
+	b.Ldr(r0, r8, 0)
+	b.MemReg(isa.LDR, r1, r6, r7, 0)
+	b.Eor(r0, r0, r1)
+	b.MemPost(isa.STR, r0, r8, 4)
+	b.AddI(r7, r7, 4)
+	b.CmpI(r7, 16)
+	b.MovIIf(isa.EQ, r7, 0)
+	b.SubsI(r9, r9, 1)
+	b.Bne("ks_xor")
+	// Refill P.
+	b.MovI(r4, 0)
+	b.MovI(r5, 0)
+	b.Lea(r8, "P")
+	b.MovI(r9, 9)
+	b.Label("ks_p")
+	b.Bl("bf_encrypt")
+	b.MemPost(isa.STR, r4, r8, 4)
+	b.MemPost(isa.STR, r5, r8, 4)
+	b.SubsI(r9, r9, 1)
+	b.Bne("ks_p")
+	// Refill S (4 × 256 words = 512 block encryptions).
+	b.Lea(r8, "S")
+	b.MovImm32(r9, 512)
+	b.Label("ks_s")
+	b.Bl("bf_encrypt")
+	b.MemPost(isa.STR, r4, r8, 4)
+	b.MemPost(isa.STR, r5, r8, 4)
+	b.SubsI(r9, r9, 1)
+	b.Bne("ks_s")
+	b.Pop(r4, r5, r6, r7, r8, r9, lr)
+	b.Ret()
+
+	return b.MustBuild()
+}
+
+func init() {
+	register(Kernel{Name: "blowfish", Group: "security", Build: buildBlowfish, Ref: refBlowfish, DefaultScale: 16})
+}

@@ -1,0 +1,333 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"powerfits/internal/asm"
+	"powerfits/internal/isa"
+	"powerfits/internal/program"
+)
+
+// ---------------------------------------------------------------------
+// jpeg — the forward 8×8 DCT plus quantisation stage of JPEG encoding
+// (MiBench consumer/jpeg). Like libjpeg's jfdctint, the transform is
+// fully unrolled: both separable passes are straight-line MAC code with
+// inline Q12 cosine constants. That gives this kernel the largest code
+// footprint in the suite (≈ 12 KB of ARM text), which is what drives
+// the paper's interesting I-cache miss-rate cases: the ARM binary
+// thrashes an 8 KB cache while the half-sized FITS binary fits.
+// ---------------------------------------------------------------------
+
+// jpegCos returns the Q12 DCT-II coefficient table c[u][y].
+func jpegCos() [8][8]int32 {
+	var c [8][8]int32
+	for u := 0; u < 8; u++ {
+		for y := 0; y < 8; y++ {
+			c[u][y] = int32(math.Round(4096 * math.Cos(float64(2*y+1)*float64(u)*math.Pi/16)))
+		}
+	}
+	return c
+}
+
+// jpegQuant is the standard JPEG luminance quantisation table.
+var jpegQuant = [64]int32{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+func jpegRecip() [64]int32 {
+	var r [64]int32
+	for i, q := range jpegQuant {
+		r[i] = 65536 / q
+	}
+	return r
+}
+
+func jpegBlockCount(scale int) int { return 12 * scale }
+
+func jpegBlocks(scale int) []uint32 {
+	raw := randWords(0x19E6, 64*jpegBlockCount(scale))
+	for i, v := range raw {
+		raw[i] = uint32(int32(v&0xFF) - 128) // centred pixels
+	}
+	return raw
+}
+
+func refJPEG(scale int) []uint32 {
+	c := jpegCos()
+	recip := jpegRecip()
+	data := jpegBlocks(scale)
+	h := uint32(0)
+	var tmp, out [64]int32
+	for blk := 0; blk < jpegBlockCount(scale); blk++ {
+		in := data[blk*64 : (blk+1)*64]
+		for u := 0; u < 8; u++ {
+			for x := 0; x < 8; x++ {
+				var s int32
+				for y := 0; y < 8; y++ {
+					s += c[u][y] * int32(in[8*y+x])
+				}
+				tmp[8*u+x] = s >> 12
+			}
+		}
+		for u := 0; u < 8; u++ {
+			for v := 0; v < 8; v++ {
+				var s int32
+				for x := 0; x < 8; x++ {
+					s += c[v][x] * tmp[8*u+x]
+				}
+				out[8*u+v] = s >> 12
+			}
+		}
+		for i := 0; i < 64; i++ {
+			q := out[i] * recip[i] >> 16
+			h = mix(h, uint32(q))
+		}
+	}
+	return []uint32{h}
+}
+
+func buildJPEG(scale int) *program.Program {
+	b := asm.New("jpeg")
+	c := jpegCos()
+	recip := jpegRecip()
+	b.Words("blocks", jpegBlocks(scale))
+	b.Words32("recip", recip[:])
+	b.Zero("tmp", 64*4)
+	b.Zero("out", 64*4)
+
+	blocks := jpegBlockCount(scale)
+
+	b.Func("main")
+	b.Push(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Lea(r4, "blocks")
+	b.MovImm32(r9, uint32(blocks))
+	b.MovI(r8, 0) // hash
+	b.Label("jp_blk")
+	for half := 0; half < 2; half++ {
+		b.Bl(fmt.Sprintf("dct_rows_%d", half))
+	}
+	for half := 0; half < 2; half++ {
+		b.Bl(fmt.Sprintf("dct_cols_%d", half))
+	}
+	b.Bl("quant_hash")
+	b.AddI(r4, r4, 64*4)
+	b.SubsI(r9, r9, 1)
+	b.Bne("jp_blk")
+	b.Mov(r0, r8)
+	b.EmitWord()
+	b.Pop(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Exit()
+
+	// Pass 1, fully unrolled: tmp[u][x] = (Σ_y c[u][y]·in[y][x]) >> 12.
+	// r4 = block ptr (preserved), r5 = tmp base, r0 acc, r1 val, r2 coeff.
+	for half := 0; half < 2; half++ {
+		b.Func(fmt.Sprintf("dct_rows_%d", half))
+		b.Lea(r5, "tmp")
+		for u := half * 4; u < half*4+4; u++ {
+			for x := 0; x < 8; x++ {
+				for y := 0; y < 8; y++ {
+					b.Ldr(r1, r4, int32(4*(8*y+x)))
+					b.Ldc(r2, c[u][y])
+					if y == 0 {
+						b.Mul(r0, r1, r2)
+					} else {
+						b.Mla(r0, r1, r2, r0)
+					}
+				}
+				b.Asr(r0, r0, 12)
+				b.Str(r0, r5, int32(4*(8*u+x)))
+			}
+		}
+		b.Ret()
+	}
+
+	// Pass 2: out[u][v] = (Σ_x c[v][x]·tmp[u][x]) >> 12.
+	for half := 0; half < 2; half++ {
+		b.Func(fmt.Sprintf("dct_cols_%d", half))
+		b.Lea(r5, "tmp")
+		b.Lea(r6, "out")
+		for u := half * 4; u < half*4+4; u++ {
+			for v := 0; v < 8; v++ {
+				for x := 0; x < 8; x++ {
+					b.Ldr(r1, r5, int32(4*(8*u+x)))
+					b.Ldc(r2, c[v][x])
+					if x == 0 {
+						b.Mul(r0, r1, r2)
+					} else {
+						b.Mla(r0, r1, r2, r0)
+					}
+				}
+				b.Asr(r0, r0, 12)
+				b.Str(r0, r6, int32(4*(8*u+v)))
+			}
+		}
+		b.Ret()
+	}
+
+	// quant_hash: fold quantised coefficients into r8.
+	b.Func("quant_hash")
+	b.Lea(r6, "out")
+	b.Lea(r7, "recip")
+	b.MovI(r3, 64)
+	b.Ldc(r10, 16777619)
+	b.Label("qh_loop")
+	b.MemPost(isa.LDR, r0, r6, 4)
+	b.MemPost(isa.LDR, r1, r7, 4)
+	b.Mul(r0, r0, r1)
+	b.Asr(r0, r0, 16)
+	b.Eor(r8, r8, r0)
+	b.Mul(r8, r8, r10)
+	b.AddI(r8, r8, 1)
+	b.SubsI(r3, r3, 1)
+	b.Bne("qh_loop")
+	b.Ret()
+
+	return b.MustBuild()
+}
+
+// ---------------------------------------------------------------------
+// tiff2bw — RGB→grayscale conversion (MiBench consumer/tiff2bw):
+// gray = (77·R + 150·G + 29·B) >> 8 over packed RGB byte triplets.
+// ---------------------------------------------------------------------
+
+func tiffPixelCount(scale int) int { return 4096 * scale }
+
+func tiffPixels(scale int) []byte { return randBytes(0x71FF, 3*tiffPixelCount(scale)) }
+
+func refTiff2BW(scale int) []uint32 {
+	px := tiffPixels(scale)
+	h := uint32(0)
+	for i := 0; i+3 <= len(px); i += 3 {
+		g := (77*uint32(px[i]) + 150*uint32(px[i+1]) + 29*uint32(px[i+2])) >> 8
+		h = mix(h, g)
+	}
+	return []uint32{h}
+}
+
+func buildTiff2BW(scale int) *program.Program {
+	b := asm.New("tiff2bw")
+	b.Bytes("rgb", tiffPixels(scale))
+
+	b.Func("main")
+	b.Push(r4, r5, r6, r7, r8, lr)
+	b.Lea(r1, "rgb")
+	b.MovImm32(r2, uint32(tiffPixelCount(scale)))
+	b.MovI(r0, 0)
+	b.MovI(r5, 77)
+	b.MovI(r6, 150)
+	b.MovI(r7, 29)
+	b.Ldc(r8, 16777619)
+	b.Label("bw_loop")
+	b.MemPost(isa.LDRB, r3, r1, 1)
+	b.Mul(r4, r3, r5)
+	b.MemPost(isa.LDRB, r3, r1, 1)
+	b.Mla(r4, r3, r6, r4)
+	b.MemPost(isa.LDRB, r3, r1, 1)
+	b.Mla(r4, r3, r7, r4)
+	b.Lsr(r4, r4, 8)
+	b.Eor(r0, r0, r4)
+	b.Mul(r0, r0, r8)
+	b.AddI(r0, r0, 1)
+	b.SubsI(r2, r2, 1)
+	b.Bne("bw_loop")
+	b.EmitWord()
+	b.Pop(r4, r5, r6, r7, r8, lr)
+	b.Exit()
+
+	return b.MustBuild()
+}
+
+// ---------------------------------------------------------------------
+// mad — the MP3 decoder's polyphase synthesis window (MiBench
+// consumer/mad): a 32-tap Q12 FIR filter, inner loop unrolled 8-fold
+// into MLA chains.
+// ---------------------------------------------------------------------
+
+const madTaps = 32
+
+func madSampleCount(scale int) int { return 1024 * scale }
+
+func madWindow() []uint32 {
+	r := newRand(0x3AD0)
+	out := make([]uint32, madTaps)
+	for i := range out {
+		out[i] = uint32(int32(r.next()&0xFFF) - 2048)
+	}
+	return out
+}
+
+func madSamples(scale int) []uint32 {
+	r := newRand(0x3AD5)
+	n := madSampleCount(scale) + madTaps
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = uint32(int32(r.next()&0xFFFF) - 32768)
+	}
+	return out
+}
+
+func refMad(scale int) []uint32 {
+	win := madWindow()
+	x := madSamples(scale)
+	h := uint32(0)
+	for n := 0; n < madSampleCount(scale); n++ {
+		var acc int32
+		for k := 0; k < madTaps; k++ {
+			acc += int32(win[k]) * int32(x[n+k])
+		}
+		h = mix(h, uint32(acc>>12))
+	}
+	return []uint32{h}
+}
+
+func buildMad(scale int) *program.Program {
+	b := asm.New("mad")
+	b.Words("win", madWindow())
+	b.Words("x", madSamples(scale))
+
+	b.Func("main")
+	b.Push(r4, r5, r6, r7, r8, r9, lr)
+	b.Lea(r4, "x")
+	b.MovImm32(r5, uint32(madSampleCount(scale)))
+	b.MovI(r0, 0) // hash
+	b.Ldc(r9, 16777619)
+	b.Label("mad_n")
+	b.Lea(r6, "win")
+	b.Mov(r7, r4) // sample window ptr
+	b.MovI(r8, 0) // acc
+	b.MovI(r1, madTaps/8)
+	b.Label("mad_k")
+	for u := 0; u < 8; u++ {
+		b.MemPost(isa.LDR, r2, r6, 4)
+		b.MemPost(isa.LDR, r3, r7, 4)
+		b.Mla(r8, r2, r3, r8)
+	}
+	b.SubsI(r1, r1, 1)
+	b.Bne("mad_k")
+	b.Asr(r8, r8, 12)
+	b.Eor(r0, r0, r8)
+	b.Mul(r0, r0, r9)
+	b.AddI(r0, r0, 1)
+	b.AddI(r4, r4, 4) // slide the window
+	b.SubsI(r5, r5, 1)
+	b.Bne("mad_n")
+	b.EmitWord()
+	b.Pop(r4, r5, r6, r7, r8, r9, lr)
+	b.Exit()
+
+	return b.MustBuild()
+}
+
+func init() {
+	register(Kernel{Name: "jpeg", Group: "consumer", Build: buildJPEG, Ref: refJPEG, DefaultScale: 18})
+	register(Kernel{Name: "tiff2bw", Group: "consumer", Build: buildTiff2BW, Ref: refTiff2BW, DefaultScale: 24})
+	register(Kernel{Name: "mad", Group: "consumer", Build: buildMad, Ref: refMad, DefaultScale: 16})
+}

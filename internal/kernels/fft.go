@@ -1,0 +1,277 @@
+package kernels
+
+import (
+	"math"
+
+	"powerfits/internal/asm"
+	"powerfits/internal/isa"
+	"powerfits/internal/program"
+)
+
+// fft / fft_inv — fixed-point (Q14) radix-2 decimation-in-time FFT over
+// 64-point frames, the MiBench telecomm fft workload. Complex samples
+// are interleaved (re, im) 32-bit words; twiddles are interleaved
+// (cos, ∓sin) Q14 words. All arithmetic is 32-bit wrapping with
+// arithmetic shifts, identically in the assembly and the Go reference.
+
+const fftN = 64
+
+// fftTwiddles returns the interleaved Q14 twiddle table.
+func fftTwiddles(inverse bool) []uint32 {
+	out := make([]uint32, fftN)
+	for j := 0; j < fftN/2; j++ {
+		ang := 2 * math.Pi * float64(j) / fftN
+		c := int32(math.Round(16384 * math.Cos(ang)))
+		s := int32(math.Round(16384 * math.Sin(ang)))
+		if !inverse {
+			s = -s
+		}
+		out[2*j] = uint32(c)
+		out[2*j+1] = uint32(s)
+	}
+	return out
+}
+
+// fftFrames returns `frames` interleaved complex frames with inputs in
+// ±2047.
+func fftFrames(frames int) []uint32 {
+	r := newRand(0xFF7)
+	out := make([]uint32, frames*2*fftN)
+	for i := range out {
+		out[i] = uint32(int32(r.next()&0xFFF) - 2048)
+	}
+	return out
+}
+
+// refFFTFrame transforms one interleaved frame in place.
+func refFFTFrame(c []int32, tw []int32) {
+	// Bit reversal (6 bits).
+	for i := 0; i < fftN; i++ {
+		j := 0
+		t := i
+		for b := 0; b < 6; b++ {
+			j = j<<1 | t&1
+			t >>= 1
+		}
+		if j > i {
+			c[2*i], c[2*j] = c[2*j], c[2*i]
+			c[2*i+1], c[2*j+1] = c[2*j+1], c[2*i+1]
+		}
+	}
+	for stride := 2; stride <= fftN; stride <<= 1 {
+		half := stride / 2
+		step := fftN / stride
+		for k := 0; k < half; k++ {
+			wr := tw[2*k*step]
+			wi := tw[2*k*step+1]
+			for i := k; i < fftN; i += stride {
+				lo := 2 * i
+				hi := 2 * (i + half)
+				br, bi := c[hi], c[hi+1]
+				tr := (wr*br - wi*bi) >> 14
+				ti := (wr*bi + wi*br) >> 14
+				ar, ai := c[lo], c[lo+1]
+				c[lo] = ar + tr
+				c[hi] = ar + tr - tr<<1
+				c[lo+1] = ai + ti
+				c[hi+1] = ai + ti - ti<<1
+			}
+		}
+	}
+}
+
+// emitFFT emits a function that transforms the interleaved frame whose
+// base address is in r0, using the twiddle table named twSym. The name
+// must be unique within the program.
+func emitFFT(b *asm.Builder, name, twSym string) {
+	b.Func(name)
+	b.Push(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.SubI(sp, sp, 8) // [sp,0]=koff, [sp,4]=tw base
+	b.Mov(r11, r0)    // frame base
+
+	// ---- Bit reversal: r0=i, r1=j, r2=t, r3=b / scratch ----
+	b.MovI(r0, 0)
+	b.Label(name + "_rev_i")
+	b.MovI(r1, 0)
+	b.Mov(r2, r0)
+	b.MovI(r3, 6)
+	b.Label(name + "_rev_b")
+	b.Lsl(r1, r1, 1)
+	b.TstI(r2, 1)
+	b.IfI(isa.NE, isa.ORR, r1, r1, 1)
+	b.Lsr(r2, r2, 1)
+	b.SubsI(r3, r3, 1)
+	b.Bne(name + "_rev_b")
+	b.Cmp(r1, r0)
+	b.Ble(name + "_rev_next")
+	// Swap complex elements i and j (pairs of words).
+	b.AddShift(r2, r11, r0, isa.LSL, 3)
+	b.AddShift(r3, r11, r1, isa.LSL, 3)
+	b.Ldr(r4, r2, 0)
+	b.Ldr(r5, r3, 0)
+	b.Str(r5, r2, 0)
+	b.Str(r4, r3, 0)
+	b.Ldr(r4, r2, 4)
+	b.Ldr(r5, r3, 4)
+	b.Str(r5, r2, 4)
+	b.Str(r4, r3, 4)
+	b.Label(name + "_rev_next")
+	b.AddI(r0, r0, 1)
+	b.CmpI(r0, fftN)
+	b.Blt(name + "_rev_i")
+
+	// ---- Stages ----
+	// r4=stride bytes (8*len), r5=hoff (8*half), r6=step8 (8*step),
+	// r7=tw ptr, r8=w_re, r9=w_im, r10=data ptr, r11=base.
+	b.Lea(r7, twSym)
+	b.Str(r7, sp, 4)
+	b.MovI(r4, 16)       // len=2
+	b.MovI(r6, 8*fftN/2) // step8 for len=2
+	b.Label(name + "_stage")
+	b.Asr(r5, r4, 1) // hoff
+	b.MovI(r0, 0)
+	b.Str(r0, sp, 0) // koff = 0
+	b.Label(name + "_k")
+	b.Ldr(r8, r7, 0)
+	b.Ldr(r9, r7, 4)
+	b.Ldr(r0, sp, 0)
+	b.Add(r10, r11, r0)
+	b.Label(name + "_i")
+	// Butterfly; temps r0-r3, lr.
+	b.Add(r3, r10, r5) // hi ptr
+	b.Ldr(r0, r3, 0)   // b_re
+	b.Ldr(r1, r3, 4)   // b_im
+	b.Mul(r2, r0, r8)
+	b.Mul(lr, r1, r9)
+	b.Sub(r2, r2, lr)
+	b.Asr(r2, r2, 14) // t_re
+	b.Mul(r0, r0, r9)
+	b.Mul(lr, r1, r8)
+	b.Add(r0, r0, lr)
+	b.Asr(r0, r0, 14) // t_im
+	b.Ldr(r1, r10, 0) // a_re
+	b.Ldr(lr, r10, 4) // a_im
+	b.Add(r1, r1, r2)
+	b.OpShift(isa.SUB, r2, r1, r2, isa.LSL, 1)
+	b.Str(r1, r10, 0)
+	b.Str(r2, r3, 0)
+	b.Add(lr, lr, r0)
+	b.OpShift(isa.SUB, r0, lr, r0, isa.LSL, 1)
+	b.Str(lr, r10, 4)
+	b.Str(r0, r3, 4)
+	// Next i.
+	b.Add(r10, r10, r4)
+	b.AddI(lr, r11, 8*fftN)
+	b.Cmp(r10, lr)
+	b.Blt(name + "_i")
+	// Next k.
+	b.Ldr(r0, sp, 0)
+	b.AddI(r0, r0, 8)
+	b.Str(r0, sp, 0)
+	b.Add(r7, r7, r6)
+	b.Cmp(r0, r5)
+	b.Blt(name + "_k")
+	// Next stage.
+	b.Lsl(r4, r4, 1)
+	b.Lsr(r6, r6, 1)
+	b.Ldr(r7, sp, 4)
+	b.CmpI(r4, 8*fftN)
+	b.Ble(name + "_stage")
+
+	b.AddI(sp, sp, 8)
+	b.Pop(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Ret()
+}
+
+// emitFrameChecksum emits a function hashing all frame data into r0.
+func emitFrameChecksum(b *asm.Builder, words int) {
+	b.Func("checksum")
+	b.Lea(r1, "frames")
+	b.MovImm32(r2, uint32(words*4))
+	b.Add(r2, r1, r2)
+	b.MovI(r0, 0)
+	b.Ldc(r4, 16777619)
+	b.Label("cs_loop")
+	b.MemPost(isa.LDR, r3, r1, 4)
+	b.Eor(r0, r0, r3)
+	b.Mul(r0, r0, r4)
+	b.AddI(r0, r0, 1)
+	b.Cmp(r1, r2)
+	b.Bne("cs_loop")
+	b.Ret()
+}
+
+func fftFrameCount(scale int) int { return 4 * scale }
+
+func buildFFTCommon(name string, inverse bool) func(scale int) *program.Program {
+	return func(scale int) *program.Program {
+		b := asm.New(name)
+		frames := fftFrameCount(scale)
+		b.Words("frames", fftFrames(frames))
+		b.Words("twf", fftTwiddles(false))
+		if inverse {
+			b.Words("twi", fftTwiddles(true))
+		}
+
+		b.Func("main")
+		b.Push(r4, r5, lr)
+		b.Lea(r4, "frames")
+		b.MovImm32(r5, uint32(frames))
+		b.Label("frame_loop")
+		b.Mov(r0, r4)
+		b.Bl("fft_fwd")
+		if inverse {
+			b.Mov(r0, r4)
+			b.Bl("fft_inv")
+		}
+		b.AddI(r4, r4, 8*fftN)
+		b.SubsI(r5, r5, 1)
+		b.Bne("frame_loop")
+		b.Bl("checksum")
+		b.EmitWord()
+		b.Pop(r4, r5, lr)
+		b.Exit()
+
+		emitFFT(b, "fft_fwd", "twf")
+		if inverse {
+			emitFFT(b, "fft_inv", "twi")
+		}
+		emitFrameChecksum(b, frames*2*fftN)
+		return b.MustBuild()
+	}
+}
+
+func refFFTCommon(inverse bool) func(scale int) []uint32 {
+	return func(scale int) []uint32 {
+		frames := fftFrameCount(scale)
+		raw := fftFrames(frames)
+		data := make([]int32, len(raw))
+		for i, v := range raw {
+			data[i] = int32(v)
+		}
+		twfU, twiU := fftTwiddles(false), fftTwiddles(true)
+		twf := make([]int32, len(twfU))
+		twi := make([]int32, len(twiU))
+		for i := range twfU {
+			twf[i] = int32(twfU[i])
+			twi[i] = int32(twiU[i])
+		}
+		for f := 0; f < frames; f++ {
+			frame := data[f*2*fftN : (f+1)*2*fftN]
+			refFFTFrame(frame, twf)
+			if inverse {
+				refFFTFrame(frame, twi)
+			}
+		}
+		h := uint32(0)
+		for _, v := range data {
+			h = mix(h, uint32(v))
+		}
+		return []uint32{h}
+	}
+}
+
+func init() {
+	register(Kernel{Name: "fft", Group: "telecomm", Build: buildFFTCommon("fft", false), Ref: refFFTCommon(false), DefaultScale: 36})
+	register(Kernel{Name: "fft_inv", Group: "telecomm", Build: buildFFTCommon("fft_inv", true), Ref: refFFTCommon(true), DefaultScale: 18})
+}

@@ -1,0 +1,54 @@
+package kernels
+
+import "testing"
+
+// golden pins the scale-1 checksum of every kernel. These values freeze
+// the workloads: a change to a kernel's algorithm, its input generator,
+// the shared PRNG or the checksum mix shows up here even if the assembly
+// and the Go reference drift together.
+var golden = map[string][]uint32{
+	"adpcm_dec":       {0x681a2ae0},
+	"adpcm_enc":       {0x83974138},
+	"bitcount":        {0x85190008},
+	"blowfish":        {0x8d8d45f6},
+	"crc32":           {0xfbab65c7},
+	"dijkstra":        {0x56b51562},
+	"fft":             {0xc311bdf0},
+	"fft_inv":         {0x232fe322},
+	"gsm":             {0x6691ed84},
+	"ispell":          {0xe95d83cd},
+	"jpeg":            {0xeb894729},
+	"mad":             {0xf42829f6},
+	"patricia":        {0xcfacb542},
+	"qsort":           {0xdb73e493},
+	"rijndael":        {0xadf05fa6},
+	"sha":             {0x529663f5},
+	"stringsearch":    {0xb89d36e0},
+	"susan_corners":   {0xb9304a95},
+	"susan_edges":     {0x2084c7f9},
+	"susan_smoothing": {0x199a335d},
+	"tiff2bw":         {0x7ca27484},
+}
+
+func TestGoldenChecksums(t *testing.T) {
+	if len(golden) != len(All()) {
+		t.Fatalf("golden table has %d entries, suite has %d", len(golden), len(All()))
+	}
+	for _, k := range All() {
+		want, ok := golden[k.Name]
+		if !ok {
+			t.Errorf("%s: no golden entry", k.Name)
+			continue
+		}
+		got := k.Ref(1)
+		if len(got) != len(want) {
+			t.Errorf("%s: got %#x, want %#x", k.Name, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: checksum[%d] = %#x, want %#x (workload changed!)", k.Name, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package kernels
+
+import (
+	"powerfits/internal/asm"
+	"powerfits/internal/isa"
+	"powerfits/internal/program"
+)
+
+// gsm — the GSM 06.10 decoder's short-term synthesis lattice filter
+// (the hot loop of MiBench's gsm.decode; the paper renames gsm.decode
+// to plain "gsm"). Eight Q15 reflection coefficients per 160-sample
+// frame drive a saturating lattice filter; all 16-bit saturating
+// arithmetic is expressed with MIN/MAX clamps identically in assembly
+// and reference.
+
+const (
+	gsmFrameSamples = 160
+	gsmOrder        = 8
+)
+
+func gsmFrameCount(scale int) int { return 8 * scale }
+
+// gsmCoeffs returns gsmOrder Q15 reflection coefficients per frame,
+// bounded away from ±1 for stability.
+func gsmCoeffs(frames int) []uint32 {
+	r := newRand(0x65A1)
+	out := make([]uint32, frames*gsmOrder)
+	for i := range out {
+		out[i] = uint32(int32(r.next()%24000) - 12000)
+	}
+	return out
+}
+
+// gsmResidual returns the excitation samples.
+func gsmResidual(frames int) []uint16 {
+	r := newRand(0x6512)
+	out := make([]uint16, frames*gsmFrameSamples)
+	for i := range out {
+		out[i] = uint16(int32(r.next()%4096) - 2048)
+	}
+	return out
+}
+
+func clamp16(v int32) int32 {
+	if v > 32767 {
+		return 32767
+	}
+	if v < -32768 {
+		return -32768
+	}
+	return v
+}
+
+func gsmMultR(a, b int32) int32 { return clamp16((a*b + 16384) >> 15) }
+
+func refGSM(scale int) []uint32 {
+	frames := gsmFrameCount(scale)
+	coeffs := gsmCoeffs(frames)
+	res := gsmResidual(frames)
+	var v [gsmOrder + 1]int32
+	h := uint32(0)
+	for f := 0; f < frames; f++ {
+		rrp := coeffs[f*gsmOrder : (f+1)*gsmOrder]
+		for s := 0; s < gsmFrameSamples; s++ {
+			sri := int32(int16(res[f*gsmFrameSamples+s]))
+			for i := gsmOrder - 1; i >= 0; i-- {
+				k := int32(rrp[i])
+				sri = clamp16(sri - gsmMultR(k, v[i]))
+				v[i+1] = clamp16(v[i] + gsmMultR(k, sri))
+			}
+			v[0] = sri
+			h = mix(h, uint32(sri))
+		}
+	}
+	return []uint32{h}
+}
+
+func buildGSM(scale int) *program.Program {
+	b := asm.New("gsm")
+	frames := gsmFrameCount(scale)
+	b.Words("rrp", gsmCoeffs(frames))
+	b.Halfs("res", gsmResidual(frames))
+	b.Zero("v", 4*(gsmOrder+1))
+
+	b.Func("main")
+	b.Bl("synth")
+	b.EmitWord()
+	b.Exit()
+
+	// synth: r0 sri, r1 i-offset (bytes), r2/r3 temps, r4 rrp ptr,
+	// r5 v base, r6 sample ptr, r7 samples left in frame, r8 hash,
+	// r9 +32767, r10 -32768, r11 frames left.
+	b.Func("synth")
+	b.Push(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Lea(r4, "rrp")
+	b.Lea(r5, "v")
+	b.Lea(r6, "res")
+	b.MovI(r8, 0)
+	b.MovImm32(r9, 32767)
+	b.MovImm32(r10, 0xFFFF8000)
+	b.MovImm32(r11, uint32(frames))
+	b.Label("gsm_frame")
+	b.MovI(r7, gsmFrameSamples)
+	b.Label("gsm_sample")
+	b.MemPost(isa.LDRSH, r0, r6, 2)
+	b.MovI(r1, 4*(gsmOrder-1))
+	b.Label("gsm_lattice")
+	// k = rrp[i] (r2), vi = v[i] (r3)
+	b.MemReg(isa.LDR, r2, r4, r1, 0)
+	b.MemReg(isa.LDR, r3, r5, r1, 0)
+	// sri = clamp16(sri - mult_r(k, v[i]))
+	b.Mul(r3, r2, r3)
+	b.AddI(r3, r3, 16384)
+	b.Asr(r3, r3, 15)
+	b.Min(r3, r3, r9)
+	b.Max(r3, r3, r10)
+	b.Sub(r0, r0, r3)
+	b.Min(r0, r0, r9)
+	b.Max(r0, r0, r10)
+	// v[i+1] = clamp16(v[i] + mult_r(k, sri))
+	b.Mul(r2, r2, r0)
+	b.AddI(r2, r2, 16384)
+	b.Asr(r2, r2, 15)
+	b.Min(r2, r2, r9)
+	b.Max(r2, r2, r10)
+	b.MemReg(isa.LDR, r3, r5, r1, 0)
+	b.Add(r2, r3, r2)
+	b.Min(r2, r2, r9)
+	b.Max(r2, r2, r10)
+	b.AddI(r3, r1, 4)
+	b.MemReg(isa.STR, r2, r5, r3, 0)
+	b.SubsI(r1, r1, 4)
+	b.Bge("gsm_lattice")
+	b.Str(r0, r5, 0) // v[0] = sri
+	// hash
+	b.Eor(r8, r8, r0)
+	b.Ldc(r2, 16777619)
+	b.Mul(r8, r8, r2)
+	b.AddI(r8, r8, 1)
+	b.SubsI(r7, r7, 1)
+	b.Bne("gsm_sample")
+	b.AddI(r4, r4, 4*gsmOrder) // next frame's coefficients
+	b.SubsI(r11, r11, 1)
+	b.Bne("gsm_frame")
+	b.Mov(r0, r8)
+	b.Pop(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Ret()
+
+	return b.MustBuild()
+}
+
+func init() {
+	register(Kernel{Name: "gsm", Group: "telecomm", Build: buildGSM, Ref: refGSM, DefaultScale: 12})
+}

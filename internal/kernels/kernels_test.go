@@ -1,0 +1,67 @@
+package kernels
+
+import (
+	"testing"
+
+	"powerfits/internal/cpu"
+)
+
+// TestKernelsMatchReference runs every kernel functionally at scale 1
+// and checks the emitted checksums against the independent Go
+// implementations.
+func TestKernelsMatchReference(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			t.Parallel()
+			p := k.Build(1)
+			if err := p.Validate(); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			m, err := cpu.RunFunctional(p, 200e6)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			want := k.Ref(1)
+			if len(m.Output) != len(want) {
+				t.Fatalf("output %v, want %v", m.Output, want)
+			}
+			for i := range want {
+				if m.Output[i] != want[i] {
+					t.Fatalf("output[%d] = %#x, want %#x (full: %#x vs %#x)",
+						i, m.Output[i], want[i], m.Output, want)
+				}
+			}
+			t.Logf("%-14s %6d static instrs, %9d dynamic", k.Name, len(p.Instrs), m.InstrCount)
+		})
+	}
+}
+
+// TestKernelScaleMonotonic checks that raising the scale raises the
+// dynamic instruction count (the knob the experiments rely on).
+func TestKernelScaleMonotonic(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			t.Parallel()
+			m1, err := cpu.RunFunctional(k.Build(1), 200e6)
+			if err != nil {
+				t.Fatalf("scale 1: %v", err)
+			}
+			m2, err := cpu.RunFunctional(k.Build(2), 400e6)
+			if err != nil {
+				t.Fatalf("scale 2: %v", err)
+			}
+			if m2.InstrCount <= m1.InstrCount {
+				t.Errorf("scale 2 ran %d instrs, not more than scale 1's %d", m2.InstrCount, m1.InstrCount)
+			}
+			// Scaled runs must still match their references.
+			want := k.Ref(2)
+			for i := range want {
+				if m2.Output[i] != want[i] {
+					t.Fatalf("scale-2 output mismatch: %#x vs %#x", m2.Output, want)
+				}
+			}
+		})
+	}
+}

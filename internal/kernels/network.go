@@ -1,0 +1,414 @@
+package kernels
+
+import (
+	"powerfits/internal/asm"
+	"powerfits/internal/isa"
+	"powerfits/internal/program"
+)
+
+// ---------------------------------------------------------------------
+// dijkstra — all-sources shortest paths on dense random graphs
+// (MiBench network/dijkstra): the classic O(V²) relaxation with a
+// linear min-scan, run from every source of every graph.
+// ---------------------------------------------------------------------
+
+const (
+	dijV   = 20
+	dijInf = 1 << 20
+)
+
+func dijGraphCount(scale int) int { return 2 * scale }
+
+// dijGraphs returns adjacency matrices with weights 1..15 (diagonal 0,
+// some edges missing → dijInf).
+func dijGraphs(scale int) []uint32 {
+	r := newRand(0xD13A)
+	n := dijGraphCount(scale)
+	out := make([]uint32, n*dijV*dijV)
+	for g := 0; g < n; g++ {
+		for i := 0; i < dijV; i++ {
+			for j := 0; j < dijV; j++ {
+				w := r.next() & 31
+				switch {
+				case i == j:
+					w = 0
+				case w >= 16:
+					w = dijInf // missing edge
+				case w == 0:
+					w = 1
+				}
+				out[g*dijV*dijV+i*dijV+j] = w
+			}
+		}
+	}
+	return out
+}
+
+func refDijkstra(scale int) []uint32 {
+	graphs := dijGraphs(scale)
+	h := uint32(0)
+	var dist [dijV]uint32
+	var visited [dijV]bool
+	for g := 0; g < dijGraphCount(scale); g++ {
+		adj := graphs[g*dijV*dijV:]
+		for src := 0; src < dijV; src++ {
+			for i := range dist {
+				dist[i] = dijInf
+				visited[i] = false
+			}
+			dist[src] = 0
+			for it := 0; it < dijV; it++ {
+				best, bestD := -1, uint32(dijInf+1)
+				for v := 0; v < dijV; v++ {
+					if !visited[v] && dist[v] < bestD {
+						best, bestD = v, dist[v]
+					}
+				}
+				if best < 0 {
+					break
+				}
+				visited[best] = true
+				for v := 0; v < dijV; v++ {
+					w := adj[best*dijV+v]
+					if w != dijInf && dist[best]+w < dist[v] {
+						dist[v] = dist[best] + w
+					}
+				}
+			}
+			for v := 0; v < dijV; v++ {
+				h = mix(h, dist[v])
+			}
+		}
+	}
+	return []uint32{h}
+}
+
+func buildDijkstra(scale int) *program.Program {
+	b := asm.New("dijkstra")
+	b.Words("adj", dijGraphs(scale))
+	b.Zero("dist", dijV*4)
+	b.Zero("visited", dijV*4)
+
+	graphs := dijGraphCount(scale)
+
+	b.Func("main")
+	b.Push(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Lea(r10, "adj")
+	b.MovImm32(r11, uint32(graphs))
+	b.MovI(r9, 0) // hash
+	b.Label("dj_graph")
+	b.MovI(r8, 0) // src
+	b.Label("dj_src")
+	b.Mov(r0, r8)
+	b.Bl("sssp")
+	b.AddI(r8, r8, 1)
+	b.CmpI(r8, dijV)
+	b.Blt("dj_src")
+	b.AddI(r10, r10, dijV*dijV*4)
+	b.SubsI(r11, r11, 1)
+	b.Bne("dj_graph")
+	b.Mov(r0, r9)
+	b.EmitWord()
+	b.Pop(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Exit()
+
+	// sssp: r0 = source. Uses r10 = graph base (caller's), updates the
+	// hash in r9. r4 = dist, r5 = visited, r6/r7 loop vars, r1-r3 temps.
+	b.Func("sssp")
+	b.Push(r4, r5, r6, r7, r8, lr)
+	b.Lea(r4, "dist")
+	b.Lea(r5, "visited")
+	// init
+	b.MovImm32(r2, dijInf)
+	b.MovI(r1, 0)
+	b.MovI(r3, dijV)
+	b.Mov(r6, r4)
+	b.Mov(r7, r5)
+	b.Label("ss_init")
+	b.MemPost(isa.STR, r2, r6, 4)
+	b.MemPost(isa.STR, r1, r7, 4)
+	b.SubsI(r3, r3, 1)
+	b.Bne("ss_init")
+	b.MovI(r1, 0)
+	b.MemReg(isa.STR, r1, r4, r0, 2) // dist[src] = 0 (r0 = src index)
+	// main loop: dijV iterations
+	b.MovI(r8, dijV)
+	b.Label("ss_iter")
+	// find unvisited min: r6 = best index, r7 = best dist
+	b.MovImm32(r7, 0xFFFFFFFF)
+	b.Ldc(r6, -1)
+	b.MovI(r3, 0) // v
+	b.Label("ss_scan")
+	b.MemReg(isa.LDR, r1, r5, r3, 2) // visited[v]
+	b.CmpI(r1, 0)
+	b.Bne("ss_scan_next")
+	b.MemReg(isa.LDR, r1, r4, r3, 2) // dist[v]
+	b.Cmp(r1, r7)
+	b.Bcs("ss_scan_next") // unsigned >=
+	b.Mov(r7, r1)
+	b.Mov(r6, r3)
+	b.Label("ss_scan_next")
+	b.AddI(r3, r3, 1)
+	b.CmpI(r3, dijV)
+	b.Blt("ss_scan")
+	b.CmpI(r6, 0)
+	b.Blt("ss_done")
+	// visit best: visited[best]=1
+	b.MovI(r1, 1)
+	b.MemReg(isa.STR, r1, r5, r6, 2)
+	// relax: row ptr = adj + best*dijV*4
+	b.MovI(r1, dijV*4)
+	b.Mul(r1, r6, r1)
+	b.Add(r1, r10, r1) // row ptr
+	b.MovI(r3, 0)
+	b.Label("ss_relax")
+	b.MemReg(isa.LDR, r2, r1, r3, 2) // w = adj[best][v]
+	b.MovImm32(r0, dijInf)
+	b.Cmp(r2, r0)
+	b.Beq("ss_relax_next")
+	b.Add(r2, r7, r2) // cand = dist[best] + w
+	b.MemReg(isa.LDR, r0, r4, r3, 2)
+	b.Cmp(r2, r0)
+	b.Bcs("ss_relax_next")
+	b.MemReg(isa.STR, r2, r4, r3, 2)
+	b.Label("ss_relax_next")
+	b.AddI(r3, r3, 1)
+	b.CmpI(r3, dijV)
+	b.Blt("ss_relax")
+	b.SubsI(r8, r8, 1)
+	b.Bne("ss_iter")
+	b.Label("ss_done")
+	// hash distances
+	b.Ldc(r2, 16777619)
+	b.MovI(r3, dijV)
+	b.Mov(r1, r4)
+	b.Label("ss_hash")
+	b.MemPost(isa.LDR, r0, r1, 4)
+	b.Eor(r9, r9, r0)
+	b.Mul(r9, r9, r2)
+	b.AddI(r9, r9, 1)
+	b.SubsI(r3, r3, 1)
+	b.Bne("ss_hash")
+	b.Pop(r4, r5, r6, r7, r8, lr)
+	b.Ret()
+
+	return b.MustBuild()
+}
+
+// ---------------------------------------------------------------------
+// patricia — binary (PATRICIA-style) trie over the top 16 bits of
+// 32-bit keys (MiBench network/patricia routes IP prefixes the same
+// way): arena-allocated nodes, insert phase then mixed hit/miss lookup
+// phase.
+// ---------------------------------------------------------------------
+
+func patKeyCount(scale int) int { return 192 * scale }
+
+func patKeys(scale int) []uint32 { return randWords(0x9A71, patKeyCount(scale)) }
+
+func patProbes(scale int) []uint32 {
+	n := patKeyCount(scale)
+	keys := patKeys(scale)
+	probes := make([]uint32, 2*n)
+	r := newRand(0x9A72)
+	for i := 0; i < n; i++ {
+		probes[2*i] = keys[i]    // present
+		probes[2*i+1] = r.next() // probably absent
+	}
+	return probes
+}
+
+const patNodeBytes = 16 // left, right, key, flags
+
+func refPatricia(scale int) []uint32 {
+	type node struct {
+		left, right int
+		key         uint32
+		hasKey      bool
+	}
+	arena := []node{{}}
+	insert := func(key uint32) {
+		n := 0
+		for bit := 31; bit >= 16; bit-- {
+			side := key >> uint(bit) & 1
+			var child int
+			if side == 0 {
+				child = arena[n].left
+			} else {
+				child = arena[n].right
+			}
+			if child == 0 {
+				arena = append(arena, node{})
+				child = len(arena) - 1
+				if side == 0 {
+					arena[n].left = child
+				} else {
+					arena[n].right = child
+				}
+			}
+			n = child
+		}
+		arena[n].key = key
+		arena[n].hasKey = true
+	}
+	lookup := func(key uint32) bool {
+		n := 0
+		for bit := 31; bit >= 16; bit-- {
+			side := key >> uint(bit) & 1
+			var child int
+			if side == 0 {
+				child = arena[n].left
+			} else {
+				child = arena[n].right
+			}
+			if child == 0 {
+				return false
+			}
+			n = child
+		}
+		return arena[n].hasKey && arena[n].key>>16 == key>>16
+	}
+	for _, k := range patKeys(scale) {
+		insert(k)
+	}
+	hits := uint32(0)
+	h := uint32(0)
+	for _, p := range patProbes(scale) {
+		if lookup(p) {
+			hits++
+			h = mix(h, p)
+		}
+	}
+	return []uint32{h ^ hits ^ uint32(len(arena))}
+}
+
+func buildPatricia(scale int) *program.Program {
+	b := asm.New("patricia")
+	n := patKeyCount(scale)
+	b.Words("keys", patKeys(scale))
+	b.Words("probes", patProbes(scale))
+	// Arena: worst case one path of 16 nodes per key, plus the root.
+	b.Zero("arena", (16*n+2)*patNodeBytes)
+	b.Zero("arena_next", 4)
+
+	b.Func("main")
+	b.Push(r4, r5, r6, r7, r8, r9, r10, lr)
+	// arena_next starts after the root node.
+	b.Lea(r1, "arena_next")
+	b.MovI(r0, patNodeBytes)
+	b.Str(r0, r1, 0)
+	// Insert all keys.
+	b.Lea(r9, "keys")
+	b.MovImm32(r10, uint32(n))
+	b.Label("pt_ins")
+	b.MemPost(isa.LDR, r0, r9, 4)
+	b.Bl("insert")
+	b.SubsI(r10, r10, 1)
+	b.Bne("pt_ins")
+	// Probe.
+	b.Lea(r9, "probes")
+	b.MovImm32(r10, uint32(2*n))
+	b.MovI(r7, 0) // hits
+	b.MovI(r8, 0) // hash
+	b.Label("pt_probe")
+	b.MemPost(isa.LDR, r0, r9, 4)
+	b.Bl("lookup")
+	b.CmpI(r1, 0)
+	b.Beq("pt_miss")
+	b.AddI(r7, r7, 1)
+	b.Eor(r8, r8, r0)
+	b.Ldc(r2, 16777619)
+	b.Mul(r8, r8, r2)
+	b.AddI(r8, r8, 1)
+	b.Label("pt_miss")
+	b.SubsI(r10, r10, 1)
+	b.Bne("pt_probe")
+	// h ^ hits ^ nodeCount; nodeCount = arena_next / 16.
+	b.Lea(r1, "arena_next")
+	b.Ldr(r1, r1, 0)
+	b.Lsr(r1, r1, 4)
+	b.Eor(r0, r8, r7)
+	b.Eor(r0, r0, r1)
+	b.EmitWord()
+	b.Pop(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Exit()
+
+	// insert: r0 = key. r4 = arena base, r5 = node offset, r6 = bit,
+	// r1-r3 temps.
+	b.Func("insert")
+	b.Push(r4, r5, r6, lr)
+	b.Lea(r4, "arena")
+	b.MovI(r5, 0)
+	b.MovI(r6, 31)
+	b.Label("in_walk")
+	// side offset: ((key>>bit)&1)*4
+	b.LsrR(r1, r0, r6)
+	b.AndI(r1, r1, 1)
+	b.Lsl(r1, r1, 2)
+	b.Add(r1, r1, r5) // &node.child - arena
+	b.MemReg(isa.LDR, r2, r4, r1, 0)
+	b.CmpI(r2, 0)
+	b.Bne("in_down")
+	// Allocate.
+	b.Lea(r3, "arena_next")
+	b.Ldr(r2, r3, 0)
+	b.AddI(r2, r2, patNodeBytes)
+	b.Str(r2, r3, 0)
+	b.SubI(r2, r2, patNodeBytes)
+	b.MemReg(isa.STR, r2, r4, r1, 0)
+	b.Label("in_down")
+	b.Mov(r5, r2)
+	b.SubsI(r6, r6, 1)
+	b.CmpI(r6, 16)
+	b.Bge("in_walk")
+	// Leaf: store key and flag.
+	b.Add(r1, r4, r5)
+	b.Str(r0, r1, 8)
+	b.MovI(r2, 1)
+	b.Str(r2, r1, 12)
+	b.Pop(r4, r5, r6, lr)
+	b.Ret()
+
+	// lookup: r0 = key → r1 = 1 if found. r4 base, r5 node, r6 bit.
+	b.Func("lookup")
+	b.Push(r4, r5, r6, lr)
+	b.Lea(r4, "arena")
+	b.MovI(r5, 0)
+	b.MovI(r6, 31)
+	b.Label("lk_walk")
+	b.LsrR(r1, r0, r6)
+	b.AndI(r1, r1, 1)
+	b.Lsl(r1, r1, 2)
+	b.Add(r1, r1, r5)
+	b.MemReg(isa.LDR, r2, r4, r1, 0)
+	b.CmpI(r2, 0)
+	b.Beq("lk_miss")
+	b.Mov(r5, r2)
+	b.SubsI(r6, r6, 1)
+	b.CmpI(r6, 16)
+	b.Bge("lk_walk")
+	// Check the leaf.
+	b.Add(r1, r4, r5)
+	b.Ldr(r2, r1, 12)
+	b.CmpI(r2, 0)
+	b.Beq("lk_miss")
+	b.Ldr(r2, r1, 8)
+	b.Eor(r2, r2, r0)
+	b.Lsr(r2, r2, 16) // compare the top 16 bits
+	b.CmpI(r2, 0)
+	b.Bne("lk_miss")
+	b.MovI(r1, 1)
+	b.Pop(r4, r5, r6, lr)
+	b.Ret()
+	b.Label("lk_miss")
+	b.MovI(r1, 0)
+	b.Pop(r4, r5, r6, lr)
+	b.Ret()
+
+	return b.MustBuild()
+}
+
+func init() {
+	register(Kernel{Name: "dijkstra", Group: "network", Build: buildDijkstra, Ref: refDijkstra, DefaultScale: 8})
+	register(Kernel{Name: "patricia", Group: "network", Build: buildPatricia, Ref: refPatricia, DefaultScale: 12})
+}

@@ -1,0 +1,321 @@
+package kernels
+
+import (
+	"powerfits/internal/asm"
+	"powerfits/internal/isa"
+	"powerfits/internal/program"
+)
+
+// ---------------------------------------------------------------------
+// stringsearch — Boyer–Moore–Horspool multi-pattern search (MiBench
+// office/stringsearch): per-pattern 256-entry skip tables over a text
+// drawn from a 16-letter alphabet so genuine matches occur.
+// ---------------------------------------------------------------------
+
+func ssTextLen(scale int) int { return 2048 * scale }
+
+func ssText(scale int) []byte {
+	r := newRand(0x57A7)
+	out := make([]byte, ssTextLen(scale))
+	for i := range out {
+		out[i] = byte('a' + r.next()%16)
+	}
+	return out
+}
+
+// ssPatterns: eight patterns of lengths 3..6, some sampled from the
+// text (guaranteed hits), some random.
+func ssPatterns(scale int) [][]byte {
+	text := ssText(scale)
+	r := newRand(0x57A8)
+	var pats [][]byte
+	for i := 0; i < 8; i++ {
+		m := 3 + i%4
+		p := make([]byte, m)
+		if i%2 == 0 {
+			pos := int(r.next()) % (len(text) - m)
+			copy(p, text[pos:pos+m])
+		} else {
+			for j := range p {
+				p[j] = byte('a' + r.next()%16)
+			}
+		}
+		pats = append(pats, p)
+	}
+	return pats
+}
+
+func refStringsearch(scale int) []uint32 {
+	text := ssText(scale)
+	h := uint32(0)
+	for _, pat := range ssPatterns(scale) {
+		m := len(pat)
+		var skip [256]int
+		for i := range skip {
+			skip[i] = m
+		}
+		for i := 0; i < m-1; i++ {
+			skip[pat[i]] = m - 1 - i
+		}
+		count := uint32(0)
+		for pos := 0; pos+m <= len(text); {
+			j := m - 1
+			for j >= 0 && text[pos+j] == pat[j] {
+				j--
+			}
+			if j < 0 {
+				count++
+			}
+			pos += skip[text[pos+m-1]]
+		}
+		h = mix(h, count)
+	}
+	return []uint32{h}
+}
+
+func buildStringsearch(scale int) *program.Program {
+	b := asm.New("stringsearch")
+	text := ssText(scale)
+	pats := ssPatterns(scale)
+	b.Bytes("text", text)
+	// Patterns stored as [len][bytes…] records, lengths word-aligned.
+	var patBlob []byte
+	var patOffs []uint32
+	for _, p := range pats {
+		for len(patBlob)%4 != 0 {
+			patBlob = append(patBlob, 0)
+		}
+		patOffs = append(patOffs, uint32(len(patBlob)))
+		patBlob = append(patBlob, byte(len(p)))
+		patBlob = append(patBlob, p...)
+	}
+	b.Bytes("pats", patBlob)
+	b.Words("patoffs", patOffs)
+	b.Zero("skip", 256*4)
+
+	b.Func("main")
+	b.Push(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.MovI(r10, 0) // pattern index
+	b.MovI(r9, 0)  // hash
+	b.Label("sp_pat")
+	b.Lea(r0, "patoffs")
+	b.MemReg(isa.LDR, r0, r0, r10, 2)
+	b.Lea(r1, "pats")
+	b.Add(r8, r1, r0) // pattern record
+	b.Bl("search")
+	// h = mix(h, count in r0)
+	b.Eor(r9, r9, r0)
+	b.Ldc(r1, 16777619)
+	b.Mul(r9, r9, r1)
+	b.AddI(r9, r9, 1)
+	b.AddI(r10, r10, 1)
+	b.CmpI(r10, int32(len(pats)))
+	b.Blt("sp_pat")
+	b.Mov(r0, r9)
+	b.EmitWord()
+	b.Pop(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Exit()
+
+	// search: r8 = pattern record ([len][bytes]) → r0 = match count.
+	// r4 = pattern base, r5 = m, r6 = skip table, r7 = text pos,
+	// r11 = text base, r1-r3 temps.
+	b.Func("search")
+	b.Push(r4, r5, r6, r7, lr)
+	b.Ldrb(r5, r8, 0) // m
+	b.AddI(r4, r8, 1) // pattern bytes
+	b.Lea(r6, "skip")
+	// skip[i] = m for all i.
+	b.MovI(r1, 256)
+	b.Mov(r2, r6)
+	b.Label("sk_fill")
+	b.MemPost(isa.STR, r5, r2, 4)
+	b.SubsI(r1, r1, 1)
+	b.Bne("sk_fill")
+	// skip[pat[i]] = m-1-i for i < m-1.
+	b.MovI(r1, 0)
+	b.Label("sk_set")
+	b.SubI(r2, r5, 1)
+	b.Cmp(r1, r2)
+	b.Bge("sk_done")
+	b.MemReg(isa.LDRB, r3, r4, r1, 0)
+	b.Sub(r2, r2, r1) // m-1-i
+	b.MemReg(isa.STR, r2, r6, r3, 2)
+	b.AddI(r1, r1, 1)
+	b.B("sk_set")
+	b.Label("sk_done")
+	// scan
+	b.Lea(r11, "text")
+	b.MovI(r7, 0) // pos
+	b.MovI(r0, 0) // count
+	b.Label("sc_loop")
+	// while pos + m <= n
+	b.Add(r1, r7, r5)
+	b.MovImm32(r2, uint32(len(text)))
+	b.Cmp(r1, r2)
+	b.Bgt("sc_done")
+	// backward compare: j = m-1
+	b.SubI(r1, r5, 1)
+	b.Label("sc_cmp")
+	b.CmpI(r1, 0)
+	b.Blt("sc_match")
+	b.Add(r2, r7, r1)
+	b.MemReg(isa.LDRB, r3, r11, r2, 0)
+	b.MemReg(isa.LDRB, r2, r4, r1, 0)
+	b.Cmp(r3, r2)
+	b.Bne("sc_shift")
+	b.SubI(r1, r1, 1)
+	b.B("sc_cmp")
+	b.Label("sc_match")
+	b.AddI(r0, r0, 1)
+	b.Label("sc_shift")
+	// pos += skip[text[pos+m-1]]
+	b.Add(r1, r7, r5)
+	b.SubI(r1, r1, 1)
+	b.MemReg(isa.LDRB, r2, r11, r1, 0)
+	b.MemReg(isa.LDR, r2, r6, r2, 2)
+	b.Add(r7, r7, r2)
+	b.B("sc_loop")
+	b.Label("sc_done")
+	b.Pop(r4, r5, r6, r7, lr)
+	b.Ret()
+
+	return b.MustBuild()
+}
+
+// ---------------------------------------------------------------------
+// ispell — hash-dictionary lookup (the hot loop of MiBench
+// office/ispell): build a 256-bucket chained hash table of packed
+// 4-letter words, then probe it with a mixed present/absent stream.
+// ---------------------------------------------------------------------
+
+func ispellDictSize(scale int) int { return 384 * scale }
+
+func ispellDict(scale int) []uint32 {
+	r := newRand(0x15BE)
+	n := ispellDictSize(scale)
+	out := make([]uint32, n)
+	for i := range out {
+		w := uint32(0)
+		for j := 0; j < 4; j++ {
+			w = w<<8 | 'a' + r.next()%26
+		}
+		out[i] = w
+	}
+	return out
+}
+
+func ispellProbes(scale int) []uint32 {
+	dict := ispellDict(scale)
+	r := newRand(0x15BF)
+	out := make([]uint32, 4*len(dict))
+	for i := range out {
+		if i%2 == 0 {
+			out[i] = dict[int(r.next())%len(dict)]
+		} else {
+			w := uint32(0)
+			for j := 0; j < 4; j++ {
+				w = w<<8 | 'a' + r.next()%26
+			}
+			out[i] = w
+		}
+	}
+	return out
+}
+
+// ispellHash is the bucket function shared by assembly and reference:
+// multiplicative hash to 8 bits.
+func ispellHash(w uint32) uint32 { return w * 2654435761 >> 24 }
+
+func refIspell(scale int) []uint32 {
+	dict := ispellDict(scale)
+	var head [256]int32 // 1-based index, 0 = empty
+	next := make([]int32, len(dict))
+	for i, w := range dict {
+		hb := ispellHash(w)
+		next[i] = head[hb]
+		head[hb] = int32(i + 1)
+	}
+	found := uint32(0)
+	h := uint32(0)
+	for _, p := range ispellProbes(scale) {
+		n := head[ispellHash(p)]
+		for n != 0 {
+			if dict[n-1] == p {
+				found++
+				break
+			}
+			n = next[n-1]
+		}
+		h = mix(h, found)
+	}
+	return []uint32{h}
+}
+
+func buildIspell(scale int) *program.Program {
+	b := asm.New("ispell")
+	dict := ispellDict(scale)
+	b.Words("dict", dict)
+	b.Words("probes", ispellProbes(scale))
+	b.Zero("head", 256*4)
+	b.Zero("next", len(dict)*4)
+
+	b.Func("main")
+	b.Push(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Lea(r4, "dict")
+	b.Lea(r5, "head")
+	b.Lea(r6, "next")
+	b.MovImm32(r10, 2654435761)
+	// Build phase.
+	b.MovI(r7, 0) // index i
+	b.Label("is_build")
+	b.MemReg(isa.LDR, r0, r4, r7, 2) // w = dict[i]
+	b.Mul(r1, r0, r10)
+	b.Lsr(r1, r1, 24)
+	b.MemReg(isa.LDR, r2, r5, r1, 2) // old head
+	b.MemReg(isa.STR, r2, r6, r7, 2) // next[i] = old
+	b.AddI(r2, r7, 1)
+	b.MemReg(isa.STR, r2, r5, r1, 2) // head = i+1
+	b.AddI(r7, r7, 1)
+	b.MovImm32(r0, uint32(len(dict)))
+	b.Cmp(r7, r0)
+	b.Blt("is_build")
+	// Probe phase.
+	b.Lea(r8, "probes")
+	b.MovImm32(r9, uint32(4*len(dict)))
+	b.MovI(r7, 0)  // found
+	b.MovI(r11, 0) // hash
+	b.Label("is_probe")
+	b.MemPost(isa.LDR, r0, r8, 4)
+	b.Mul(r1, r0, r10)
+	b.Lsr(r1, r1, 24)
+	b.MemReg(isa.LDR, r2, r5, r1, 2) // n = head[hb]
+	b.Label("is_chain")
+	b.CmpI(r2, 0)
+	b.Beq("is_next")
+	b.SubI(r3, r2, 1)
+	b.MemReg(isa.LDR, r1, r4, r3, 2) // dict[n-1]
+	b.Cmp(r1, r0)
+	b.Beq("is_hit")
+	b.MemReg(isa.LDR, r2, r6, r3, 2) // n = next[n-1]
+	b.B("is_chain")
+	b.Label("is_hit")
+	b.AddI(r7, r7, 1)
+	b.Label("is_next")
+	b.Eor(r11, r11, r7)
+	b.Ldc(r1, 16777619)
+	b.Mul(r11, r11, r1)
+	b.AddI(r11, r11, 1)
+	b.SubsI(r9, r9, 1)
+	b.Bne("is_probe")
+	b.Mov(r0, r11)
+	b.EmitWord()
+	b.Pop(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Exit()
+
+	return b.MustBuild()
+}
+
+func init() {
+	register(Kernel{Name: "stringsearch", Group: "office", Build: buildStringsearch, Ref: refStringsearch, DefaultScale: 18})
+	register(Kernel{Name: "ispell", Group: "office", Build: buildIspell, Ref: refIspell, DefaultScale: 16})
+}

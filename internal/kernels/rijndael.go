@@ -1,0 +1,322 @@
+package kernels
+
+import (
+	"powerfits/internal/asm"
+	"powerfits/internal/isa"
+	"powerfits/internal/program"
+)
+
+// rijndael — AES-128 encryption (MiBench security/rijndael): full key
+// expansion plus the 10-round byte-oriented cipher (SubBytes+ShiftRows
+// fused through a permutation table, MixColumns via xtime) over an ECB
+// buffer. The real AES S-box is used.
+
+var aesSbox = [256]byte{
+	0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+	0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+	0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+	0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+	0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+	0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+	0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+	0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+	0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+	0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+	0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+	0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+	0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+	0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+	0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+	0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+}
+
+// aesShiftPerm[i] is the source index SubBytes+ShiftRows reads for
+// output byte i (state laid out s[row + 4*col]).
+var aesShiftPerm = func() [16]byte {
+	var p [16]byte
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			p[r+4*c] = byte(r + 4*((c+r)%4))
+		}
+	}
+	return p
+}()
+
+var aesRcon = [10]uint32{0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36}
+
+func aesBlockCount(scale int) int { return 48 * scale }
+func aesKeyBytes() []byte         { return randBytes(0xAE5E, 16) }
+func aesData(scale int) []byte    { return randBytes(0xAE5D, 16*aesBlockCount(scale)) }
+
+func xtime(x byte) byte {
+	v := x << 1
+	if x&0x80 != 0 {
+		v ^= 0x1B
+	}
+	return v
+}
+
+func refAESExpand(key []byte) [176]byte {
+	var rk [176]byte
+	copy(rk[:16], key)
+	for i := 4; i < 44; i++ {
+		var t [4]byte
+		copy(t[:], rk[4*(i-1):4*i])
+		if i%4 == 0 {
+			t[0], t[1], t[2], t[3] = aesSbox[t[1]]^byte(aesRcon[i/4-1]), aesSbox[t[2]], aesSbox[t[3]], aesSbox[t[0]]
+		}
+		for j := 0; j < 4; j++ {
+			rk[4*i+j] = rk[4*(i-4)+j] ^ t[j]
+		}
+	}
+	return rk
+}
+
+func refAESEncryptBlock(st []byte, rk *[176]byte) {
+	ark := func(round int) {
+		for j := 0; j < 16; j++ {
+			st[j] ^= rk[16*round+j]
+		}
+	}
+	subShift := func() {
+		var tmp [16]byte
+		for i := 0; i < 16; i++ {
+			tmp[i] = aesSbox[st[aesShiftPerm[i]]]
+		}
+		copy(st, tmp[:])
+	}
+	mix := func() {
+		for c := 0; c < 4; c++ {
+			a0, a1, a2, a3 := st[4*c], st[4*c+1], st[4*c+2], st[4*c+3]
+			t := a0 ^ a1 ^ a2 ^ a3
+			st[4*c] = a0 ^ t ^ xtime(a0^a1)
+			st[4*c+1] = a1 ^ t ^ xtime(a1^a2)
+			st[4*c+2] = a2 ^ t ^ xtime(a2^a3)
+			st[4*c+3] = a3 ^ t ^ xtime(a3^a0)
+		}
+	}
+	ark(0)
+	for round := 1; round <= 9; round++ {
+		subShift()
+		mix()
+		ark(round)
+	}
+	subShift()
+	ark(10)
+}
+
+func refRijndael(scale int) []uint32 {
+	rk := refAESExpand(aesKeyBytes())
+	data := aesData(scale)
+	h := uint32(0)
+	for b := 0; b+16 <= len(data); b += 16 {
+		refAESEncryptBlock(data[b:b+16], &rk)
+		for j := 0; j < 16; j += 4 {
+			w := uint32(data[b+j]) | uint32(data[b+j+1])<<8 | uint32(data[b+j+2])<<16 | uint32(data[b+j+3])<<24
+			h = mix(h, w)
+		}
+	}
+	return []uint32{h}
+}
+
+func buildRijndael(scale int) *program.Program {
+	b := asm.New("rijndael")
+	b.Bytes("sbox", aesSbox[:])
+	b.Bytes("perm", aesShiftPerm[:])
+	b.Words("rcon", aesRcon[:])
+	b.Bytes("key", aesKeyBytes())
+	b.Bytes("data", aesData(scale))
+	b.Zero("rk", 176)
+	b.Zero("tmp", 16)
+
+	blocks := aesBlockCount(scale)
+
+	b.Func("main")
+	b.Push(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Bl("expand")
+	b.Lea(r10, "data")
+	b.MovImm32(r9, uint32(blocks))
+	b.MovI(r8, 0) // hash
+	b.Label("aes_blocks")
+	b.Mov(r0, r10)
+	b.Bl("encrypt")
+	// Hash the ciphertext block (4 words).
+	b.Ldc(r2, 16777619)
+	b.MovI(r3, 4)
+	b.Label("aes_hash")
+	b.MemPost(isa.LDR, r1, r10, 4)
+	b.Eor(r8, r8, r1)
+	b.Mul(r8, r8, r2)
+	b.AddI(r8, r8, 1)
+	b.SubsI(r3, r3, 1)
+	b.Bne("aes_hash")
+	b.SubsI(r9, r9, 1)
+	b.Bne("aes_blocks")
+	b.Mov(r0, r8)
+	b.EmitWord()
+	b.Pop(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Exit()
+
+	// expand: AES-128 key schedule into rk.
+	// r4 = rk base, r5 = sbox, r6 = rcon ptr, r7 = i (word index).
+	b.Func("expand")
+	b.Push(r4, r5, r6, r7, lr)
+	b.Lea(r4, "rk")
+	b.Lea(r5, "sbox")
+	b.Lea(r6, "rcon")
+	// Copy the key (4 words).
+	b.Lea(r0, "key")
+	b.Mov(r1, r4)
+	b.MovI(r2, 4)
+	b.Label("exp_copy")
+	b.MemPost(isa.LDR, r3, r0, 4)
+	b.MemPost(isa.STR, r3, r1, 4)
+	b.SubsI(r2, r2, 1)
+	b.Bne("exp_copy")
+	b.MovI(r7, 4)
+	b.Label("exp_loop")
+	// r0 = rk[i-1] (word), byte-rotated/substituted when i%4 == 0.
+	b.Lsl(r1, r7, 2)
+	b.SubI(r1, r1, 4)
+	b.MemReg(isa.LDR, r0, r4, r1, 0)
+	b.TstI(r7, 3)
+	b.Bne("exp_plain")
+	// RotWord: bytes (b1,b2,b3,b0); SubWord each via sbox; xor rcon.
+	b.Ror(r0, r0, 8) // little-endian word: rotate right 8 = RotWord
+	// Substitute the four bytes of r0 into r2.
+	b.MovI(r2, 0)
+	b.MovI(r3, 4) // byte counter
+	b.Label("exp_sub")
+	b.AndI(r1, r0, 0xFF)
+	b.MemReg(isa.LDRB, r1, r5, r1, 0)
+	b.Ror(r2, r2, 8)
+	b.OpShift(isa.ORR, r2, r2, r1, isa.LSL, 24)
+	b.Lsr(r0, r0, 8)
+	b.SubsI(r3, r3, 1)
+	b.Bne("exp_sub")
+	b.Mov(r0, r2) // four ror-8 steps leave the bytes in original order
+	// XOR rcon (low byte).
+	b.MemPost(isa.LDR, r1, r6, 4)
+	b.Eor(r0, r0, r1)
+	b.Label("exp_plain")
+	// rk[i] = rk[i-4] ^ r0
+	b.Lsl(r1, r7, 2)
+	b.SubI(r1, r1, 16)
+	b.MemReg(isa.LDR, r2, r4, r1, 0)
+	b.Eor(r0, r0, r2)
+	b.Lsl(r1, r7, 2)
+	b.MemReg(isa.STR, r0, r4, r1, 0)
+	b.AddI(r7, r7, 1)
+	b.CmpI(r7, 44)
+	b.Blt("exp_loop")
+	b.Pop(r4, r5, r6, r7, lr)
+	b.Ret()
+
+	// encrypt: r0 = block pointer. r4 = block, r5 = sbox, r6 = rk ptr,
+	// r7 = perm, r8 = tmp, r9 = round counter.
+	b.Func("encrypt")
+	b.Push(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Mov(r4, r0)
+	b.Lea(r5, "sbox")
+	b.Lea(r6, "rk")
+	b.Lea(r7, "perm")
+	b.Lea(r8, "tmp")
+	// AddRoundKey 0.
+	b.Bl("ark")
+	b.MovI(r9, 9)
+	b.Label("enc_round")
+	b.Bl("subshift")
+	b.Bl("mixcols")
+	b.Bl("ark")
+	b.SubsI(r9, r9, 1)
+	b.Bne("enc_round")
+	b.Bl("subshift")
+	b.Bl("ark")
+	b.Pop(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Ret()
+
+	// ark: state ^= next 16 round-key bytes (word-wise); advances r6.
+	b.Func("ark")
+	b.MovI(r0, 4)
+	b.Mov(r1, r4)
+	b.Label("ark_loop")
+	b.Ldr(r2, r1, 0)
+	b.MemPost(isa.LDR, r3, r6, 4)
+	b.Eor(r2, r2, r3)
+	b.MemPost(isa.STR, r2, r1, 4)
+	b.SubsI(r0, r0, 1)
+	b.Bne("ark_loop")
+	b.Ret()
+
+	// subshift: tmp[i] = sbox[state[perm[i]]]; copy back.
+	b.Func("subshift")
+	b.MovI(r0, 0)
+	b.Label("ss_loop")
+	b.MemReg(isa.LDRB, r1, r7, r0, 0) // perm[i]
+	b.MemReg(isa.LDRB, r1, r4, r1, 0) // state[perm[i]]
+	b.MemReg(isa.LDRB, r1, r5, r1, 0) // sbox[...]
+	b.MemReg(isa.STRB, r1, r8, r0, 0)
+	b.AddI(r0, r0, 1)
+	b.CmpI(r0, 16)
+	b.Blt("ss_loop")
+	// Copy tmp back (4 words).
+	b.MovI(r0, 4)
+	b.Mov(r1, r8)
+	b.Mov(r2, r4)
+	b.Label("ss_copy")
+	b.MemPost(isa.LDR, r3, r1, 4)
+	b.MemPost(isa.STR, r3, r2, 4)
+	b.SubsI(r0, r0, 1)
+	b.Bne("ss_copy")
+	b.Ret()
+
+	// mixcols: per column, xtime-based MixColumns. r10 = column ptr,
+	// r0..r3 = a0..a3, r11 = t, r1.. reuse; lr = scratch.
+	b.Func("mixcols")
+	b.Push(r9, lr)
+	b.Mov(r10, r4)
+	b.MovI(r9, 4)
+	b.Label("mc_col")
+	b.Ldrb(r0, r10, 0)
+	b.Ldrb(r1, r10, 1)
+	b.Ldrb(r2, r10, 2)
+	b.Ldrb(r3, r10, 3)
+	b.Eor(r11, r0, r1)
+	b.Eor(r11, r11, r2)
+	b.Eor(r11, r11, r3) // t
+	// xt(lr, x^y) helper expanded inline for each output byte.
+	xt := func(a, bb isa.Reg) { // lr = xtime(a^bb)
+		b.Eor(lr, a, bb)
+		b.TstI(lr, 0x80)
+		b.Lsl(lr, lr, 1)
+		b.IfI(isa.NE, isa.EOR, lr, lr, 0x1B)
+		b.AndI(lr, lr, 0xFF)
+	}
+	xt(r0, r1)
+	b.Eor(lr, lr, r0)
+	b.Eor(lr, lr, r11)
+	b.Strb(lr, r10, 0)
+	xt(r1, r2)
+	b.Eor(lr, lr, r1)
+	b.Eor(lr, lr, r11)
+	b.Strb(lr, r10, 1)
+	xt(r2, r3)
+	b.Eor(lr, lr, r2)
+	b.Eor(lr, lr, r11)
+	b.Strb(lr, r10, 2)
+	xt(r3, r0)
+	b.Eor(lr, lr, r3)
+	b.Eor(lr, lr, r11)
+	b.Strb(lr, r10, 3)
+	b.AddI(r10, r10, 4)
+	b.SubsI(r9, r9, 1)
+	b.Bne("mc_col")
+	b.Pop(r9, lr)
+	b.Ret()
+
+	return b.MustBuild()
+}
+
+func init() {
+	register(Kernel{Name: "rijndael", Group: "security", Build: buildRijndael, Ref: refRijndael, DefaultScale: 12})
+}

@@ -1,0 +1,207 @@
+package kernels
+
+import (
+	"encoding/binary"
+
+	"powerfits/internal/asm"
+	"powerfits/internal/isa"
+	"powerfits/internal/program"
+)
+
+// sha — SHA-1 compression (MiBench security/sha). Processes pre-formed
+// 64-byte blocks (no padding path: the workload is the compression
+// function). The four round groups are unrolled five-fold, giving this
+// kernel one of the larger code footprints in the suite, as jpeg/sha do
+// in MiBench.
+
+func shaBlockCount(scale int) int { return 8 * scale }
+
+func shaMessage(scale int) []byte {
+	return randBytes(0x5AA1, 64*shaBlockCount(scale))
+}
+
+func refSHA(scale int) []uint32 {
+	msg := shaMessage(scale)
+	h := [5]uint32{0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0}
+	var w [80]uint32
+	rol := func(v uint32, n uint) uint32 { return v<<n | v>>(32-n) }
+	for blk := 0; blk+64 <= len(msg); blk += 64 {
+		for t := 0; t < 16; t++ {
+			w[t] = binary.BigEndian.Uint32(msg[blk+4*t:])
+		}
+		for t := 16; t < 80; t++ {
+			w[t] = rol(w[t-3]^w[t-8]^w[t-14]^w[t-16], 1)
+		}
+		a, b, c, d, e := h[0], h[1], h[2], h[3], h[4]
+		for t := 0; t < 80; t++ {
+			var f, k uint32
+			switch {
+			case t < 20:
+				f = d ^ (b & (c ^ d))
+				k = 0x5A827999
+			case t < 40:
+				f = b ^ c ^ d
+				k = 0x6ED9EBA1
+			case t < 60:
+				f = (b & c) | (d & (b | c))
+				k = 0x8F1BBCDC
+			default:
+				f = b ^ c ^ d
+				k = 0xCA62C1D6
+			}
+			tmp := rol(a, 5) + f + e + w[t] + k
+			e, d, c, b, a = d, c, rol(b, 30), a, tmp
+		}
+		h[0] += a
+		h[1] += b
+		h[2] += c
+		h[3] += d
+		h[4] += e
+	}
+	out := uint32(0)
+	for _, v := range h {
+		out = mix(out, v)
+	}
+	return []uint32{out}
+}
+
+// emitSHARound writes one round body for the given f-function. State in
+// r4..r8 (a..e), W pointer r9, round constant r10.
+func emitSHARound(b *asm.Builder, group int) {
+	switch group {
+	case 0: // f = d ^ (b & (c ^ d))
+		b.Eor(r0, r6, r7)
+		b.And(r0, r0, r5)
+		b.Eor(r0, r0, r7)
+	case 1, 3: // f = b ^ c ^ d
+		b.Eor(r0, r5, r6)
+		b.Eor(r0, r0, r7)
+	case 2: // f = (b & c) | (d & (b | c))
+		b.And(r0, r5, r6)
+		b.Orr(r1, r5, r6)
+		b.And(r1, r7, r1)
+		b.Orr(r0, r0, r1)
+	}
+	b.Add(r0, r0, r8) // + e
+	b.MemPost(isa.LDR, r1, r9, 4)
+	b.Add(r0, r0, r1)  // + W[t]
+	b.Add(r0, r0, r10) // + K
+	b.Ror(r1, r4, 27)  // rol5(a)
+	b.Add(r0, r0, r1)
+	b.Mov(r8, r7)
+	b.Mov(r7, r6)
+	b.Ror(r6, r5, 2)
+	b.Mov(r5, r4)
+	b.Mov(r4, r0)
+}
+
+func buildSHA(scale int) *program.Program {
+	b := asm.New("sha")
+	msg := shaMessage(scale)
+	blocks := shaBlockCount(scale)
+	b.Bytes("msg", msg)
+	b.Words("state", []uint32{0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0})
+	b.Zero("W", 80*4)
+
+	b.Func("main")
+	b.Push(r4, r5, lr)
+	b.Lea(r4, "msg")
+	b.MovImm32(r5, uint32(blocks))
+	b.Label("blk_loop")
+	b.Mov(r0, r4)
+	b.Bl("sha_block")
+	b.AddI(r4, r4, 64)
+	b.SubsI(r5, r5, 1)
+	b.Bne("blk_loop")
+	// Checksum the state.
+	b.Lea(r1, "state")
+	b.MovI(r0, 0)
+	b.Ldc(r4, 16777619)
+	b.MovI(r5, 5)
+	b.Label("sum_loop")
+	b.MemPost(isa.LDR, r3, r1, 4)
+	b.Eor(r0, r0, r3)
+	b.Mul(r0, r0, r4)
+	b.AddI(r0, r0, 1)
+	b.SubsI(r5, r5, 1)
+	b.Bne("sum_loop")
+	b.EmitWord()
+	b.Pop(r4, r5, lr)
+	b.Exit()
+
+	// sha_block: r0 = block pointer.
+	b.Func("sha_block")
+	b.Push(r4, r5, r6, r7, r8, r9, r10, lr)
+	// W[0..15] = big-endian words.
+	b.Lea(r9, "W")
+	b.MovI(r1, 16)
+	b.Label("w16")
+	b.MemPost(isa.LDR, r2, r0, 4)
+	b.Rev(r2, r2)
+	b.MemPost(isa.STR, r2, r9, 4)
+	b.SubsI(r1, r1, 1)
+	b.Bne("w16")
+	// W[16..79].
+	b.MovI(r1, 64)
+	b.Label("wext")
+	b.Ldr(r2, r9, -12)
+	b.Ldr(r3, r9, -32)
+	b.Eor(r2, r2, r3)
+	b.Ldr(r3, r9, -56)
+	b.Eor(r2, r2, r3)
+	b.Ldr(r3, r9, -64)
+	b.Eor(r2, r2, r3)
+	b.Ror(r2, r2, 31)
+	b.MemPost(isa.STR, r2, r9, 4)
+	b.SubsI(r1, r1, 1)
+	b.Bne("wext")
+	// Load state into a..e.
+	b.Lea(r0, "state")
+	b.Ldr(r4, r0, 0)
+	b.Ldr(r5, r0, 4)
+	b.Ldr(r6, r0, 8)
+	b.Ldr(r7, r0, 12)
+	b.Ldr(r8, r0, 16)
+	b.Lea(r9, "W")
+	// Four groups of 20 rounds: 4 iterations of 5 unrolled rounds.
+	ks := []uint32{0x5A827999, 0x6ED9EBA1, 0x8F1BBCDC, 0xCA62C1D6}
+	for g := 0; g < 4; g++ {
+		b.MovImm32(r10, ks[g])
+		b.MovI(r11, 4)
+		b.Label(groupLabel(g))
+		for u := 0; u < 5; u++ {
+			emitSHARound(b, g)
+		}
+		b.SubsI(r11, r11, 1)
+		b.Bne(groupLabel(g))
+	}
+	// Fold back into state.
+	b.Lea(r0, "state")
+	b.Ldr(r1, r0, 0)
+	b.Add(r1, r1, r4)
+	b.Str(r1, r0, 0)
+	b.Ldr(r1, r0, 4)
+	b.Add(r1, r1, r5)
+	b.Str(r1, r0, 4)
+	b.Ldr(r1, r0, 8)
+	b.Add(r1, r1, r6)
+	b.Str(r1, r0, 8)
+	b.Ldr(r1, r0, 12)
+	b.Add(r1, r1, r7)
+	b.Str(r1, r0, 12)
+	b.Ldr(r1, r0, 16)
+	b.Add(r1, r1, r8)
+	b.Str(r1, r0, 16)
+	b.Pop(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Ret()
+
+	return b.MustBuild()
+}
+
+func groupLabel(g int) string {
+	return "sha_g" + string(rune('0'+g))
+}
+
+func init() {
+	register(Kernel{Name: "sha", Group: "security", Build: buildSHA, Ref: refSHA, DefaultScale: 64})
+}

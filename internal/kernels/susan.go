@@ -1,0 +1,270 @@
+package kernels
+
+import (
+	"powerfits/internal/asm"
+	"powerfits/internal/isa"
+	"powerfits/internal/program"
+)
+
+// susan_smoothing / susan_edges / susan_corners — the three MiBench
+// automotive SUSAN image-processing modes: a 3×3 weighted smoothing
+// filter, a USAN brightness-similarity edge detector, and a
+// Sobel-energy corner detector, all over an 8-bit grayscale image.
+
+const susanW = 64
+
+func susanH(scale int) int { return 32 * scale }
+
+// susanImage builds a gradient-plus-noise grayscale test image.
+func susanImage(scale int) []byte {
+	h := susanH(scale)
+	r := newRand(0x5A5A)
+	img := make([]byte, susanW*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < susanW; x++ {
+			v := uint32(x*3+y*2) + r.next()&31
+			img[y*susanW+x] = byte(v)
+		}
+	}
+	return img
+}
+
+func refSusanSmoothing(scale int) []uint32 {
+	h := susanH(scale)
+	img := susanImage(scale)
+	out := uint32(0)
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < susanW-1; x++ {
+			p := y*susanW + x
+			s := uint32(img[p-susanW-1]) + 2*uint32(img[p-susanW]) + uint32(img[p-susanW+1]) +
+				2*uint32(img[p-1]) + 4*uint32(img[p]) + 2*uint32(img[p+1]) +
+				uint32(img[p+susanW-1]) + 2*uint32(img[p+susanW]) + uint32(img[p+susanW+1])
+			out = mix(out, s>>4)
+		}
+	}
+	return []uint32{out}
+}
+
+func buildSusanSmoothing(scale int) *program.Program {
+	b := asm.New("susan_s")
+	h := susanH(scale)
+	b.Bytes("img", susanImage(scale))
+
+	b.Func("main")
+	b.Push(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Lea(r4, "img")
+	b.MovI(r0, 0)               // hash
+	b.Ldc(r10, 16777619)        // FNV prime
+	b.MovImm32(r6, uint32(h-2)) // rows
+	b.AddI(r5, r4, susanW+1)    // p = &img[1][1]
+	b.Label("sm_row")
+	b.MovI(r7, susanW-2)
+	b.Label("sm_col")
+	// Weighted 3x3 sum into r8.
+	b.Ldrb(r8, r5, -susanW-1)
+	b.Ldrb(r9, r5, -susanW)
+	b.AddShift(r8, r8, r9, isa.LSL, 1)
+	b.Ldrb(r9, r5, -susanW+1)
+	b.Add(r8, r8, r9)
+	b.Ldrb(r9, r5, -1)
+	b.AddShift(r8, r8, r9, isa.LSL, 1)
+	b.Ldrb(r9, r5, 0)
+	b.AddShift(r8, r8, r9, isa.LSL, 2)
+	b.Ldrb(r9, r5, 1)
+	b.AddShift(r8, r8, r9, isa.LSL, 1)
+	b.Ldrb(r9, r5, susanW-1)
+	b.Add(r8, r8, r9)
+	b.Ldrb(r9, r5, susanW)
+	b.AddShift(r8, r8, r9, isa.LSL, 1)
+	b.Ldrb(r9, r5, susanW+1)
+	b.Add(r8, r8, r9)
+	b.Lsr(r8, r8, 4)
+	b.Eor(r0, r0, r8)
+	b.Mul(r0, r0, r10)
+	b.AddI(r0, r0, 1)
+	b.AddI(r5, r5, 1)
+	b.SubsI(r7, r7, 1)
+	b.Bne("sm_col")
+	b.AddI(r5, r5, 2) // skip the border pair
+	b.SubsI(r6, r6, 1)
+	b.Bne("sm_row")
+	b.EmitWord()
+	b.Pop(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Exit()
+
+	return b.MustBuild()
+}
+
+const susanThresh = 20
+
+func refSusanEdges(scale int) []uint32 {
+	h := susanH(scale)
+	img := susanImage(scale)
+	out := uint32(0)
+	offs := []int{-susanW - 1, -susanW, -susanW + 1, -1, 1, susanW - 1, susanW, susanW + 1}
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < susanW-1; x++ {
+			p := y*susanW + x
+			c := int32(img[p])
+			count := uint32(0)
+			for _, o := range offs {
+				d := int32(img[p+o]) - c
+				if d < 0 {
+					d = -d
+				}
+				if d < susanThresh {
+					count++
+				}
+			}
+			if count < 6 {
+				out = mix(out, uint32(p)<<8|count)
+			}
+		}
+	}
+	return []uint32{out}
+}
+
+func buildSusanEdges(scale int) *program.Program {
+	b := asm.New("susan_e")
+	h := susanH(scale)
+	img := susanImage(scale)
+	b.Bytes("img", img)
+
+	b.Func("main")
+	b.Push(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Lea(r4, "img")
+	b.MovI(r0, 0)
+	b.Ldc(r10, 16777619)
+	b.MovImm32(r6, uint32(h-2))
+	b.AddI(r5, r4, susanW+1)
+	b.Label("ed_row")
+	b.MovI(r7, susanW-2)
+	b.Label("ed_col")
+	b.Ldrb(r8, r5, 0) // center
+	b.MovI(r9, 0)     // count
+	for _, off := range []int32{-susanW - 1, -susanW, -susanW + 1, -1, 1, susanW - 1, susanW, susanW + 1} {
+		b.Ldrb(r1, r5, off)
+		b.Subs(r1, r1, r8)
+		b.IfI(isa.LT, isa.RSB, r1, r1, 0)
+		b.CmpI(r1, susanThresh)
+		b.AddIIf(isa.LT, r9, r9, 1)
+	}
+	b.CmpI(r9, 6)
+	b.Bge("ed_skip")
+	// out = mix(out, p<<8 | count) where p is the byte index.
+	b.Sub(r1, r5, r4)
+	b.OpShift(isa.ORR, r1, r9, r1, isa.LSL, 8)
+	b.Eor(r0, r0, r1)
+	b.Mul(r0, r0, r10)
+	b.AddI(r0, r0, 1)
+	b.Label("ed_skip")
+	b.AddI(r5, r5, 1)
+	b.SubsI(r7, r7, 1)
+	b.Bne("ed_col")
+	b.AddI(r5, r5, 2)
+	b.SubsI(r6, r6, 1)
+	b.Bne("ed_row")
+	b.EmitWord()
+	b.Pop(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Exit()
+
+	return b.MustBuild()
+}
+
+const susanCornerT = 10000
+
+func refSusanCorners(scale int) []uint32 {
+	h := susanH(scale)
+	img := susanImage(scale)
+	out := uint32(0)
+	count := uint32(0)
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < susanW-1; x++ {
+			p := y*susanW + x
+			gx := int32(img[p-susanW+1]) + 2*int32(img[p+1]) + int32(img[p+susanW+1]) -
+				int32(img[p-susanW-1]) - 2*int32(img[p-1]) - int32(img[p+susanW-1])
+			gy := int32(img[p+susanW-1]) + 2*int32(img[p+susanW]) + int32(img[p+susanW+1]) -
+				int32(img[p-susanW-1]) - 2*int32(img[p-susanW]) - int32(img[p-susanW+1])
+			r := gx*gx + gy*gy
+			if r > susanCornerT {
+				count++
+				out = mix(out, uint32(p)^uint32(r))
+			}
+		}
+	}
+	return []uint32{out ^ count}
+}
+
+func buildSusanCorners(scale int) *program.Program {
+	b := asm.New("susan_c")
+	h := susanH(scale)
+	b.Bytes("img", susanImage(scale))
+
+	b.Func("main")
+	b.Push(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Lea(r4, "img")
+	b.MovI(r0, 0)  // hash
+	b.MovI(r11, 0) // corner count
+	b.Ldc(r10, 16777619)
+	b.MovImm32(r6, uint32(h-2))
+	b.AddI(r5, r4, susanW+1)
+	b.Label("co_row")
+	b.MovI(r7, susanW-2)
+	b.Label("co_col")
+	// gx in r8.
+	b.Ldrb(r8, r5, -susanW+1)
+	b.Ldrb(r1, r5, 1)
+	b.AddShift(r8, r8, r1, isa.LSL, 1)
+	b.Ldrb(r1, r5, susanW+1)
+	b.Add(r8, r8, r1)
+	b.Ldrb(r1, r5, -susanW-1)
+	b.Sub(r8, r8, r1)
+	b.Ldrb(r1, r5, -1)
+	b.OpShift(isa.SUB, r8, r8, r1, isa.LSL, 1)
+	b.Ldrb(r1, r5, susanW-1)
+	b.Sub(r8, r8, r1)
+	// gy in r9.
+	b.Ldrb(r9, r5, susanW-1)
+	b.Ldrb(r1, r5, susanW)
+	b.AddShift(r9, r9, r1, isa.LSL, 1)
+	b.Ldrb(r1, r5, susanW+1)
+	b.Add(r9, r9, r1)
+	b.Ldrb(r1, r5, -susanW-1)
+	b.Sub(r9, r9, r1)
+	b.Ldrb(r1, r5, -susanW)
+	b.OpShift(isa.SUB, r9, r9, r1, isa.LSL, 1)
+	b.Ldrb(r1, r5, -susanW+1)
+	b.Sub(r9, r9, r1)
+	// r = gx² + gy².
+	b.Mul(r8, r8, r8)
+	b.Mul(r9, r9, r9)
+	b.Add(r8, r8, r9)
+	b.MovImm32(r1, susanCornerT)
+	b.Cmp(r8, r1)
+	b.Ble("co_skip")
+	b.AddI(r11, r11, 1)
+	b.Sub(r1, r5, r4)
+	b.Eor(r1, r1, r8)
+	b.Eor(r0, r0, r1)
+	b.Mul(r0, r0, r10)
+	b.AddI(r0, r0, 1)
+	b.Label("co_skip")
+	b.AddI(r5, r5, 1)
+	b.SubsI(r7, r7, 1)
+	b.Bne("co_col")
+	b.AddI(r5, r5, 2)
+	b.SubsI(r6, r6, 1)
+	b.Bne("co_row")
+	b.Eor(r0, r0, r11)
+	b.EmitWord()
+	b.Pop(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Exit()
+
+	return b.MustBuild()
+}
+
+func init() {
+	register(Kernel{Name: "susan_smoothing", Group: "automotive", Build: buildSusanSmoothing, Ref: refSusanSmoothing, DefaultScale: 24})
+	register(Kernel{Name: "susan_edges", Group: "automotive", Build: buildSusanEdges, Ref: refSusanEdges, DefaultScale: 18})
+	register(Kernel{Name: "susan_corners", Group: "automotive", Build: buildSusanCorners, Ref: refSusanCorners, DefaultScale: 24})
+}

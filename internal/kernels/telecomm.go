@@ -1,0 +1,448 @@
+package kernels
+
+import (
+	"powerfits/internal/asm"
+	"powerfits/internal/isa"
+	"powerfits/internal/program"
+)
+
+// ---------------------------------------------------------------------
+// crc32 — table-driven CRC-32 (the paper's running example program).
+// The kernel first derives the 256-entry table from the reversed
+// polynomial, then streams the input buffer through it.
+// ---------------------------------------------------------------------
+
+const crcPoly = 0xEDB88320
+
+func crcBufLen(scale int) int { return 4096 * scale }
+
+func buildCRC32(scale int) *program.Program {
+	b := asm.New("crc32")
+	n := crcBufLen(scale)
+	b.Bytes("buf", randBytes(0xC0C32, n))
+	b.Zero("crctab", 256*4)
+
+	b.Func("main")
+	b.Bl("gen_table")
+	b.Bl("crc_calc")
+	b.EmitWord()
+	b.Exit()
+
+	// gen_table: r0=i, r1=c, r2=k, r3=table, r4=poly
+	b.Func("gen_table")
+	b.Lea(r3, "crctab")
+	b.MovImm32(r4, crcPoly)
+	b.MovI(r0, 0)
+	b.Label("gt_i")
+	b.Mov(r1, r0)
+	b.MovI(r2, 8)
+	b.Label("gt_k")
+	b.TstI(r1, 1)
+	b.Lsr(r1, r1, 1)
+	b.If(isa.NE, isa.EOR, r1, r1, r4)
+	b.SubsI(r2, r2, 1)
+	b.Bne("gt_k")
+	b.MemReg(isa.STR, r1, r3, r0, 2)
+	b.AddI(r0, r0, 1)
+	b.CmpI(r0, 256)
+	b.Blt("gt_i")
+	b.Ret()
+
+	// crc_calc: r0=crc, r1=ptr, r2=end, r3=tmp, r4=table
+	b.Func("crc_calc")
+	b.Lea(r1, "buf")
+	b.MovImm32(r2, uint32(n))
+	b.Add(r2, r1, r2)
+	b.Lea(r4, "crctab")
+	b.MovImm32(r0, 0xFFFFFFFF)
+	b.Label("crc_loop")
+	b.MemPost(isa.LDRB, r3, r1, 1)
+	b.Eor(r3, r3, r0)
+	b.AndI(r3, r3, 0xFF)
+	b.MemReg(isa.LDR, r3, r4, r3, 2)
+	b.Lsr(r0, r0, 8)
+	b.Eor(r0, r0, r3)
+	b.Cmp(r1, r2)
+	b.Bne("crc_loop")
+	b.Mvn(r0, r0)
+	b.Ret()
+
+	return b.MustBuild()
+}
+
+func refCRC32(scale int) []uint32 {
+	buf := randBytes(0xC0C32, crcBufLen(scale))
+	var tab [256]uint32
+	for i := range tab {
+		c := uint32(i)
+		for k := 0; k < 8; k++ {
+			if c&1 != 0 {
+				c = c>>1 ^ crcPoly
+			} else {
+				c >>= 1
+			}
+		}
+		tab[i] = c
+	}
+	crc := uint32(0xFFFFFFFF)
+	for _, bb := range buf {
+		crc = crc>>8 ^ tab[(crc^uint32(bb))&0xFF]
+	}
+	return []uint32{^crc}
+}
+
+// ---------------------------------------------------------------------
+// adpcm_enc / adpcm_dec — IMA ADPCM codec (MiBench telecomm adpcm).
+// ---------------------------------------------------------------------
+
+var imaIndexTable = []int32{-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8}
+
+var imaStepTable = []int32{
+	7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+	19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+	50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+	130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+	337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+	876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+	2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+	5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+	15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+}
+
+func adpcmSamples(scale int) []uint16 {
+	// A bounded random walk makes a plausible PCM signal.
+	r := newRand(0xADCF)
+	n := 2048 * scale
+	out := make([]uint16, n)
+	v := int32(0)
+	for i := range out {
+		v += int32(r.next()%1024) - 512
+		if v > 30000 {
+			v = 30000
+		}
+		if v < -30000 {
+			v = -30000
+		}
+		out[i] = uint16(v)
+	}
+	return out
+}
+
+// refADPCMEncode returns the encoded nibble stream (packed two per
+// byte) plus final predictor state.
+func refADPCMEncode(samples []uint16) (code []byte, valpred, index int32) {
+	code = make([]byte, (len(samples)+1)/2)
+	var outIdx int
+	var hi bool
+	for _, su := range samples {
+		s := int32(int16(su))
+		step := imaStepTable[index]
+		diff := s - valpred
+		var sign int32
+		if diff < 0 {
+			sign = 8
+			diff = -diff
+		}
+		var delta int32
+		vpdiff := step >> 3
+		if diff >= step {
+			delta = 4
+			diff -= step
+			vpdiff += step
+		}
+		step >>= 1
+		if diff >= step {
+			delta |= 2
+			diff -= step
+			vpdiff += step
+		}
+		step >>= 1
+		if diff >= step {
+			delta |= 1
+			vpdiff += step
+		}
+		if sign != 0 {
+			valpred -= vpdiff
+		} else {
+			valpred += vpdiff
+		}
+		if valpred > 32767 {
+			valpred = 32767
+		}
+		if valpred < -32768 {
+			valpred = -32768
+		}
+		delta |= sign
+		index += imaIndexTable[delta]
+		if index < 0 {
+			index = 0
+		}
+		if index > 88 {
+			index = 88
+		}
+		if hi {
+			code[outIdx] |= byte(delta) << 4
+			outIdx++
+		} else {
+			code[outIdx] = byte(delta)
+		}
+		hi = !hi
+	}
+	return code, valpred, index
+}
+
+// emitADPCMStep writes the shared per-sample encode body. Registers:
+// r0 sample (signed), r4 valpred, r5 index, r6 steptab, r7 indextab,
+// r1 step, r2 diff, r3 delta, r8 vpdiff, r9 sign.
+func emitADPCMEncodeStep(b *asm.Builder, id string) {
+	b.MemReg(isa.LDR, r1, r6, r5, 2) // step = steptab[index]
+	b.Subs(r2, r0, r4)               // diff = s - valpred
+	b.MovI(r9, 0)
+	b.MovIIf(isa.LT, r9, 8)
+	b.IfI(isa.LT, isa.RSB, r2, r2, 0) // diff = -diff when negative
+	b.MovI(r3, 0)
+	b.Asr(r8, r1, 3) // vpdiff = step>>3
+	b.Cmp(r2, r1)
+	b.Bc(isa.LT, "enc_s1_"+id)
+	b.OrrI(r3, r3, 4)
+	b.Sub(r2, r2, r1)
+	b.Add(r8, r8, r1)
+	b.Label("enc_s1_" + id)
+	b.Asr(r1, r1, 1)
+	b.Cmp(r2, r1)
+	b.Bc(isa.LT, "enc_s2_"+id)
+	b.OrrI(r3, r3, 2)
+	b.Sub(r2, r2, r1)
+	b.Add(r8, r8, r1)
+	b.Label("enc_s2_" + id)
+	b.Asr(r1, r1, 1)
+	b.Cmp(r2, r1)
+	b.Bc(isa.LT, "enc_s3_"+id)
+	b.OrrI(r3, r3, 1)
+	b.Add(r8, r8, r1)
+	b.Label("enc_s3_" + id)
+	b.CmpI(r9, 0)
+	b.If(isa.NE, isa.SUB, r4, r4, r8)
+	b.If(isa.EQ, isa.ADD, r4, r4, r8)
+	// Clamp valpred to int16.
+	b.MovImm32(r1, 32767)
+	b.Min(r4, r4, r1)
+	b.MovImm32(r1, 0xFFFF8000) // -32768
+	b.Max(r4, r4, r1)
+	b.Orr(r3, r3, r9) // delta |= sign
+	// index += indexTable[delta], clamp [0,88]
+	b.MemReg(isa.LDR, r1, r7, r3, 2)
+	b.Add(r5, r5, r1)
+	b.MovI(r1, 0)
+	b.Max(r5, r5, r1)
+	b.MovI(r1, 88)
+	b.Min(r5, r5, r1)
+}
+
+func buildADPCMEnc(scale int) *program.Program {
+	b := asm.New("adpcm_enc")
+	samples := adpcmSamples(scale)
+	b.Halfs("pcm", samples)
+	b.Words32("steptab", imaStepTable)
+	b.Words32("indextab", imaIndexTable)
+	b.Zero("code", (len(samples)+1)/2+4)
+	b.Zero("state", 8)
+
+	b.Func("main")
+	b.Bl("encode")
+	b.Bl("checksum")
+	b.EmitWord()
+	b.Exit()
+
+	// encode: r10 = sample ptr, r11 = out ptr, lr-saved loop counter on
+	// the stack would be heavy; use r0..r9 as per emitADPCMEncodeStep.
+	b.Func("encode")
+	b.Push(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Lea(r10, "pcm")
+	b.Lea(r11, "code")
+	b.Lea(r6, "steptab")
+	b.Lea(r7, "indextab")
+	b.MovI(r4, 0) // valpred
+	b.MovI(r5, 0) // index
+	b.MovImm32(r0, uint32(len(samples)/2))
+	b.Push(r0) // pair counter on stack
+	b.Label("enc_loop")
+	// First sample of the pair → low nibble.
+	b.MemPost(isa.LDRSH, r0, r10, 2)
+	emitADPCMEncodeStep(b, "a")
+	b.Strb(r3, r11, 0) // park the low nibble in the output byte
+	// Second sample → high nibble.
+	b.MemPost(isa.LDRSH, r0, r10, 2)
+	emitADPCMEncodeStep(b, "b")
+	b.Ldrb(r9, r11, 0)
+	b.OpShift(isa.ORR, r9, r9, r3, isa.LSL, 4)
+	b.MemPost(isa.STRB, r9, r11, 1)
+	b.Ldr(r0, sp, 0)
+	b.SubsI(r0, r0, 1)
+	b.Str(r0, sp, 0)
+	b.Bne("enc_loop")
+	b.Pop(r0)
+	b.Lea(r1, "state")
+	b.Str(r4, r1, 0) // persist valpred for the checksum stage
+	b.Pop(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Ret()
+
+	// checksum over the code bytes plus final predictor state:
+	// r0 hash, r1 ptr, r2 end, r3 tmp.
+	b.Func("checksum")
+	b.Lea(r1, "code")
+	b.MovImm32(r2, uint32(len(samples)/2))
+	b.Add(r2, r1, r2)
+	b.MovI(r0, 0)
+	b.Ldc(r5, 16777619)
+	b.Label("ck_loop")
+	b.MemPost(isa.LDRB, r3, r1, 1)
+	b.Eor(r0, r0, r3)
+	b.Mul(r0, r0, r5)
+	b.AddI(r0, r0, 1)
+	b.Cmp(r1, r2)
+	b.Bne("ck_loop")
+	b.Lea(r3, "state")
+	b.Ldr(r3, r3, 0)
+	b.Eor(r0, r0, r3) // fold valpred
+	b.Ret()
+
+	return b.MustBuild()
+}
+
+func refADPCMEnc(scale int) []uint32 {
+	samples := adpcmSamples(scale)
+	code, valpred, _ := refADPCMEncode(samples)
+	h := uint32(0)
+	for _, c := range code[:len(samples)/2] {
+		h = mix(h, uint32(c))
+	}
+	return []uint32{h ^ uint32(valpred)}
+}
+
+func buildADPCMDec(scale int) *program.Program {
+	b := asm.New("adpcm_dec")
+	samples := adpcmSamples(scale)
+	code, _, _ := refADPCMEncode(samples)
+	b.Bytes("code", code)
+	b.Words32("steptab", imaStepTable)
+	b.Words32("indextab", imaIndexTable)
+
+	b.Func("main")
+	b.Bl("decode")
+	b.EmitWord()
+	b.Exit()
+
+	// decode: streams nibbles, reconstructs samples, folds them into a
+	// hash on the fly. r0 hash, r1 code ptr, r2 remaining pairs,
+	// r3 delta, r4 valpred, r5 index, r6 steptab, r7 indextab,
+	// r8 vpdiff/tmp, r9 current byte, r10 nibble phase, r11 step.
+	b.Func("decode")
+	b.Push(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Lea(r1, "code")
+	b.MovImm32(r2, uint32(len(samples)))
+	b.Lea(r6, "steptab")
+	b.Lea(r7, "indextab")
+	b.MovI(r0, 0)
+	b.MovI(r4, 0)
+	b.MovI(r5, 0)
+	b.MovI(r10, 0)
+	b.Label("dec_loop")
+	b.CmpI(r10, 0)
+	b.Bne("dec_hi")
+	b.MemPost(isa.LDRB, r9, r1, 1)
+	b.AndI(r3, r9, 15)
+	b.MovI(r10, 1)
+	b.B("dec_have")
+	b.Label("dec_hi")
+	b.Lsr(r3, r9, 4)
+	b.MovI(r10, 0)
+	b.Label("dec_have")
+	// index += indexTable[delta]; clamp.
+	b.MemReg(isa.LDR, r8, r7, r3, 2)
+	b.MemReg(isa.LDR, r11, r6, r5, 2) // step BEFORE index update
+	b.Add(r5, r5, r8)
+	b.MovI(r8, 0)
+	b.Max(r5, r5, r8)
+	b.MovI(r8, 88)
+	b.Min(r5, r5, r8)
+	// vpdiff = step>>3 (+ step terms per delta bits)
+	b.Asr(r8, r11, 3)
+	b.TstI(r3, 4)
+	b.If(isa.NE, isa.ADD, r8, r8, r11)
+	b.TstI(r3, 2)
+	b.OpShiftIf(isa.NE, isa.ADD, r8, r8, r11, isa.ASR, 1)
+	b.TstI(r3, 1)
+	b.OpShiftIf(isa.NE, isa.ADD, r8, r8, r11, isa.ASR, 2)
+	b.TstI(r3, 8)
+	b.If(isa.NE, isa.SUB, r4, r4, r8)
+	b.If(isa.EQ, isa.ADD, r4, r4, r8)
+	// Clamp.
+	b.MovImm32(r8, 32767)
+	b.Min(r4, r4, r8)
+	b.MovImm32(r8, 0xFFFF8000)
+	b.Max(r4, r4, r8)
+	// Fold sample into the hash.
+	b.Eor(r0, r0, r4)
+	b.Ldc(r8, 16777619)
+	b.Mul(r0, r0, r8)
+	b.AddI(r0, r0, 1)
+	b.SubsI(r2, r2, 1)
+	b.Bne("dec_loop")
+	b.Pop(r4, r5, r6, r7, r8, r9, r10, lr)
+	b.Ret()
+
+	return b.MustBuild()
+}
+
+func refADPCMDec(scale int) []uint32 {
+	samples := adpcmSamples(scale)
+	code, _, _ := refADPCMEncode(samples)
+	var valpred, index int32
+	h := uint32(0)
+	for i := 0; i < len(samples); i++ {
+		var delta int32
+		if i%2 == 0 {
+			delta = int32(code[i/2] & 15)
+		} else {
+			delta = int32(code[i/2] >> 4)
+		}
+		step := imaStepTable[index]
+		index += imaIndexTable[delta]
+		if index < 0 {
+			index = 0
+		}
+		if index > 88 {
+			index = 88
+		}
+		vpdiff := step >> 3
+		if delta&4 != 0 {
+			vpdiff += step
+		}
+		if delta&2 != 0 {
+			vpdiff += step >> 1
+		}
+		if delta&1 != 0 {
+			vpdiff += step >> 2
+		}
+		if delta&8 != 0 {
+			valpred -= vpdiff
+		} else {
+			valpred += vpdiff
+		}
+		if valpred > 32767 {
+			valpred = 32767
+		}
+		if valpred < -32768 {
+			valpred = -32768
+		}
+		h = mix(h, uint32(valpred))
+	}
+	return []uint32{h}
+}
+
+func init() {
+	register(Kernel{Name: "crc32", Group: "telecomm", Build: buildCRC32, Ref: refCRC32, DefaultScale: 48})
+	register(Kernel{Name: "adpcm_enc", Group: "telecomm", Build: buildADPCMEnc, Ref: refADPCMEnc, DefaultScale: 24})
+	register(Kernel{Name: "adpcm_dec", Group: "telecomm", Build: buildADPCMDec, Ref: refADPCMDec, DefaultScale: 24})
+}

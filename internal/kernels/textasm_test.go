@@ -1,0 +1,46 @@
+package kernels
+
+import (
+	"testing"
+
+	"powerfits/internal/asm"
+	"powerfits/internal/cpu"
+)
+
+// TestKernelsSurviveTextRoundTrip formats every kernel as assembly
+// text, re-parses it and checks the reconstructed program is
+// behaviourally identical (same instruction stream, same output).
+func TestKernelsSurviveTextRoundTrip(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			t.Parallel()
+			orig := k.Build(1)
+			text := asm.Format(orig)
+			back, err := asm.Parse(k.Name, text)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if len(back.Instrs) != len(orig.Instrs) {
+				t.Fatalf("instr count %d vs %d", len(back.Instrs), len(orig.Instrs))
+			}
+			for i := range orig.Instrs {
+				a, b := orig.Instrs[i], back.Instrs[i]
+				a.Target, b.Target = "", ""
+				if a != b {
+					t.Fatalf("instr %d differs:\n orig %+v\n back %+v", i, a, b)
+				}
+			}
+			m, err := cpu.RunFunctional(back, 200e6)
+			if err != nil {
+				t.Fatalf("run reparsed: %v", err)
+			}
+			want := k.Ref(1)
+			for i := range want {
+				if m.Output[i] != want[i] {
+					t.Fatalf("reparsed output %#x, want %#x", m.Output, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,181 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"powerfits/internal/cache"
+)
+
+func testMeter(t *testing.T, geom cache.Config) (*Meter, Calibration) {
+	t.Helper()
+	cal := DefaultCalibration()
+	m, err := NewMeter(geom, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, cal
+}
+
+func TestMeterAccounting(t *testing.T) {
+	geom := cache.SA1100ICache()
+	m, cal := testMeter(t, geom)
+	kb := float64(geom.SizeBytes) / 1024
+
+	// 10 idle cycles: internal and leakage accrue, no switching.
+	for i := 0; i < 10; i++ {
+		m.Tick()
+	}
+	r := m.Report()
+	if r.SwitchingPJ != 0 {
+		t.Errorf("idle switching = %f", r.SwitchingPJ)
+	}
+	wantInt := 10 * (cal.InternalBasePJ + cal.InternalPJPerKB*kb)
+	if math.Abs(r.InternalPJ-wantInt) > 1e-6 {
+		t.Errorf("internal = %f, want %f", r.InternalPJ, wantInt)
+	}
+	wantLeak := 10 * cal.LeakPJPerKBCycle * kb
+	if math.Abs(r.LeakagePJ-wantLeak) > 1e-6 {
+		t.Errorf("leakage = %f, want %f", r.LeakagePJ, wantLeak)
+	}
+	if r.Cycles != 10 {
+		t.Errorf("cycles = %d", r.Cycles)
+	}
+}
+
+func TestMeterAccessEnergy(t *testing.T) {
+	m, cal := testMeter(t, cache.SA1100ICache())
+	// One 4-byte hit access: fixed 50% activity + address toggles from 0.
+	m.Access(0x0, []byte{1, 2, 3, 4}, false)
+	m.Tick()
+	r := m.Report()
+	wantSw := cal.SwitchPJPerBit * 16 // 32 bits × 0.5, addr unchanged
+	if math.Abs(r.SwitchingPJ-wantSw) > 1e-6 {
+		t.Errorf("switching = %f, want %f", r.SwitchingPJ, wantSw)
+	}
+	if r.Accesses != 1 || r.Misses != 0 {
+		t.Errorf("access counts wrong: %+v", r)
+	}
+
+	// A miss adds the line-fill energy to the internal component.
+	before := m.Report().InternalPJ
+	m.Access(0x40, []byte{0, 0, 0, 0}, true)
+	m.Tick()
+	r = m.Report()
+	fill := cal.FillPJPerBit * float64(cache.SA1100ICache().LineBytes*8)
+	gotFill := r.InternalPJ - before - (cal.InternalBasePJ + cal.InternalPJPerKB*16)
+	if math.Abs(gotFill-fill) > 1e-6 {
+		t.Errorf("fill energy = %f, want %f", gotFill, fill)
+	}
+}
+
+func TestHammingMode(t *testing.T) {
+	cal := DefaultCalibration()
+	cal.UseHamming = true
+	m, err := NewMeter(cache.SA1100ICache(), cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Access(0, []byte{0xFF, 0, 0, 0}, false) // 8 toggles from zero state
+	m.Tick()
+	if got, want := m.Report().SwitchingPJ, cal.SwitchPJPerBit*8; math.Abs(got-want) > 1e-6 {
+		t.Errorf("hamming switching = %f, want %f", got, want)
+	}
+	m.Access(0, []byte{0xFF, 0, 0, 0}, false) // identical: 0 toggles
+	m.Tick()
+	if got, want := m.Report().SwitchingPJ, cal.SwitchPJPerBit*8; math.Abs(got-want) > 1e-6 {
+		t.Errorf("repeated block must not toggle: %f != %f", got, want)
+	}
+}
+
+func TestSizeScaling(t *testing.T) {
+	m16, _ := testMeter(t, cache.SA1100ICache())
+	m8, _ := testMeter(t, cache.SA1100ICacheHalf())
+	for i := 0; i < 100; i++ {
+		m16.Tick()
+		m8.Tick()
+	}
+	r16, r8 := m16.Report(), m8.Report()
+	if r8.LeakagePJ*2 != r16.LeakagePJ {
+		t.Errorf("leakage must scale with size: %f vs %f", r8.LeakagePJ, r16.LeakagePJ)
+	}
+	if r8.InternalPJ >= r16.InternalPJ {
+		t.Errorf("internal must shrink with size: %f vs %f", r8.InternalPJ, r16.InternalPJ)
+	}
+}
+
+func TestPeakWindow(t *testing.T) {
+	m, cal := testMeter(t, cache.SA1100ICache())
+	// 100 idle cycles, then a burst of 8 access cycles.
+	for i := 0; i < 100; i++ {
+		m.Tick()
+	}
+	for i := 0; i < 8; i++ {
+		m.Access(uint32(i*4), []byte{1, 2, 3, 4}, false)
+		m.Tick()
+	}
+	r := m.Report()
+	idle := cal.InternalBasePJ + cal.InternalPJPerKB*16 + cal.LeakPJPerKBCycle*16
+	idleW := idle * 1e-12 * cal.FreqHz
+	if r.PeakPowerW <= idleW {
+		t.Errorf("peak %f not above idle %f", r.PeakPowerW, idleW)
+	}
+	if avg := r.AvgPowerW(); r.PeakPowerW <= avg {
+		t.Errorf("peak %f not above average %f", r.PeakPowerW, avg)
+	}
+}
+
+func TestShareSumsToOne(t *testing.T) {
+	m, _ := testMeter(t, cache.SA1100ICache())
+	for i := 0; i < 50; i++ {
+		m.Access(uint32(i*4), []byte{1, 2, 3, 4}, i%10 == 0)
+		m.Tick()
+	}
+	sw, in, lk := m.Report().Share()
+	if math.Abs(sw+in+lk-1) > 1e-9 {
+		t.Errorf("shares sum to %f", sw+in+lk)
+	}
+}
+
+func TestSaving(t *testing.T) {
+	if got := Saving(100, 60); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("Saving = %f", got)
+	}
+	if got := Saving(100, 150); math.Abs(got+0.5) > 1e-12 {
+		t.Errorf("negative saving = %f", got)
+	}
+	if Saving(0, 10) != 0 {
+		t.Error("zero baseline must not divide")
+	}
+}
+
+func TestChipModel(t *testing.T) {
+	m, _ := testMeter(t, cache.SA1100ICache())
+	for i := 0; i < 1000; i++ {
+		m.Access(uint32(i*4), []byte{byte(i), 2, 3, 4}, false)
+		m.Tick()
+	}
+	r := m.Report()
+	cm := DefaultChipModel()
+	chip := cm.ChipPJ(r)
+	share := r.TotalPJ() / chip
+	if share < 0.2 || share > 0.35 {
+		t.Errorf("I-cache share of chip = %.3f, want ≈ 0.27", share)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cal := DefaultCalibration()
+	cal.FreqHz = 0
+	if _, err := NewMeter(cache.SA1100ICache(), cal); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	cal = DefaultCalibration()
+	cal.PeakWindow = 0
+	if _, err := NewMeter(cache.SA1100ICache(), cal); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := NewMeter(cache.Config{SizeBytes: 3}, DefaultCalibration()); err == nil {
+		t.Error("bad geometry accepted")
+	}
+}

@@ -1,0 +1,189 @@
+// Package sim wires the pieces into the paper's experimental setup:
+// for one kernel it prepares the ARM baseline image, the profile, the
+// synthesized FITS ISA and translation, and the Thumb sizing; it then
+// runs any of the four simulated processor configurations (ARM16, ARM8,
+// FITS16, FITS8 — ISA × I-cache size on the fixed SA-1100-class core)
+// through the timing pipeline with the cache and power models attached.
+package sim
+
+import (
+	"fmt"
+
+	"powerfits/internal/cache"
+	"powerfits/internal/cpu"
+	"powerfits/internal/isa/thumb"
+	"powerfits/internal/kernels"
+	"powerfits/internal/power"
+	"powerfits/internal/profile"
+	"powerfits/internal/program"
+	"powerfits/internal/synth"
+	"powerfits/internal/translate"
+
+	"powerfits/internal/isa/arm"
+)
+
+// ISA selects the instruction encoding a configuration runs.
+type ISA int
+
+const (
+	ISAARM ISA = iota
+	ISAFITS
+)
+
+func (i ISA) String() string {
+	if i == ISAFITS {
+		return "FITS"
+	}
+	return "ARM"
+}
+
+// Config is one simulated processor configuration.
+type Config struct {
+	Name  string
+	ISA   ISA
+	Cache cache.Config
+}
+
+// The paper's four configurations.
+var (
+	ARM16  = Config{Name: "ARM16", ISA: ISAARM, Cache: cache.SA1100ICache()}
+	ARM8   = Config{Name: "ARM8", ISA: ISAARM, Cache: cache.SA1100ICacheHalf()}
+	FITS16 = Config{Name: "FITS16", ISA: ISAFITS, Cache: cache.SA1100ICache()}
+	FITS8  = Config{Name: "FITS8", ISA: ISAFITS, Cache: cache.SA1100ICacheHalf()}
+)
+
+// Configs lists the four configurations in the paper's order.
+var Configs = []Config{ARM16, ARM8, FITS16, FITS8}
+
+// MissPenalty is the I-cache miss stall in cycles (SA-1100-class
+// memory latency at 200 MHz).
+const MissPenalty = 24
+
+// Setup holds everything derived from one kernel before timing runs.
+type Setup struct {
+	Kernel kernels.Kernel
+	Scale  int
+
+	Prog     *program.Program
+	ArmImage *program.Image
+	Profile  *profile.Profile
+	Synth    *synth.Synthesis
+	Fits     *translate.Result
+	Thumb    *thumb.Sizing
+}
+
+// Prepare builds, profiles, synthesizes and translates one kernel.
+// scale ≤ 0 selects the kernel's default scale.
+func Prepare(k kernels.Kernel, scale int, opts synth.Options) (*Setup, error) {
+	if scale <= 0 {
+		scale = k.DefaultScale
+	}
+	p := k.Build(scale)
+	armIm, err := arm.Assemble(p)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s: %w", k.Name, err)
+	}
+	prof, err := profile.Collect(p, 2e9)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s: profile: %w", k.Name, err)
+	}
+	syn, err := synth.Synthesize(prof, opts)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s: synth: %w", k.Name, err)
+	}
+	res, err := translate.Translate(p, syn.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s: translate: %w", k.Name, err)
+	}
+	ts, err := thumb.Translate(p)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s: thumb: %w", k.Name, err)
+	}
+	return &Setup{Kernel: k, Scale: scale, Prog: p, ArmImage: armIm,
+		Profile: prof, Synth: syn, Fits: res, Thumb: ts}, nil
+}
+
+// PrepareByName is Prepare for a kernel name with default options.
+func PrepareByName(name string, scale int) (*Setup, error) {
+	k, err := kernels.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return Prepare(k, scale, synth.DefaultOptions())
+}
+
+// Result is the outcome of one configuration's timing run.
+type Result struct {
+	Config Config
+	Pipe   *cpu.PipeResult
+	Cache  cache.Stats
+	Power  power.Report
+}
+
+// icachePort implements cpu.FetchPort over the cache and power models.
+type icachePort struct {
+	c        *cache.Cache
+	m        *power.Meter
+	text     []byte
+	textBase uint32
+	block    int
+}
+
+func (p *icachePort) FetchBlock(addr uint32) int {
+	hit := p.c.Access(addr)
+	buf := make([]byte, p.block)
+	off := int64(addr) - int64(p.textBase)
+	for i := 0; i < p.block; i++ {
+		if o := off + int64(i); o >= 0 && o < int64(len(p.text)) {
+			buf[i] = p.text[o]
+		}
+	}
+	p.m.Access(addr, buf, !hit)
+	if hit {
+		return 0
+	}
+	return MissPenalty
+}
+
+func (p *icachePort) Tick() { p.m.Tick() }
+
+// Run executes the prepared kernel under one configuration.
+func (s *Setup) Run(cfg Config, cal power.Calibration) (*Result, error) {
+	var prog *program.Program
+	var im *program.Image
+	switch cfg.ISA {
+	case ISAARM:
+		prog, im = s.Prog, s.ArmImage
+	case ISAFITS:
+		prog, im = s.Fits.Lowered, s.Fits.Image
+	}
+	c, err := cache.New(cfg.Cache)
+	if err != nil {
+		return nil, err
+	}
+	meter, err := power.NewMeter(cfg.Cache, cal)
+	if err != nil {
+		return nil, err
+	}
+	pc := cpu.DefaultPipeConfig()
+	port := &icachePort{c: c, m: meter, text: im.Text, textBase: im.TextBase, block: pc.BlockBytes}
+	m := cpu.New(prog, cpu.ImageLayout(im))
+	pipe, err := cpu.RunPipeline(m, pc, port)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s on %s: %w", s.Kernel.Name, cfg.Name, err)
+	}
+	return &Result{Config: cfg, Pipe: pipe, Cache: c.Stats(), Power: meter.Report()}, nil
+}
+
+// RunAll executes the kernel under every configuration.
+func (s *Setup) RunAll(cal power.Calibration) (map[string]*Result, error) {
+	out := make(map[string]*Result, len(Configs))
+	for _, cfg := range Configs {
+		r, err := s.Run(cfg, cal)
+		if err != nil {
+			return nil, err
+		}
+		out[cfg.Name] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package synth
+
+import (
+	"testing"
+
+	"powerfits/internal/profile"
+)
+
+func TestSynthesizeToGoalAccepts(t *testing.T) {
+	prof, err := profile.Collect(buildProg(t), 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := SynthesizeToGoal(prof, DefaultOptions(), Goal{
+		MaxCodeRatio:     0.60,
+		MinStaticMapping: 0.90,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.CodeRatio > 0.60 || gr.StaticMapping < 0.90 {
+		t.Errorf("accepted solution misses goal: ratio %.2f mapping %.2f", gr.CodeRatio, gr.StaticMapping)
+	}
+	if gr.Iterations < 1 {
+		t.Error("iterations not counted")
+	}
+}
+
+func TestSynthesizeToGoalIterates(t *testing.T) {
+	prof, err := profile.Collect(buildProg(t), 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start with no dictionary: the mapping goal forces the loop to
+	// re-synthesize with immediate storage enabled.
+	opts := DefaultOptions()
+	opts.NoDict = true
+	gr, err := SynthesizeToGoal(prof, opts, Goal{MinStaticMapping: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Iterations < 2 {
+		t.Errorf("expected a re-synthesis pass, got %d iteration(s)", gr.Iterations)
+	}
+	if gr.StaticMapping < 0.95 {
+		t.Errorf("goal not actually met: %.2f", gr.StaticMapping)
+	}
+}
+
+func TestSynthesizeToGoalConfigBudget(t *testing.T) {
+	prof, err := profile.Collect(buildProg(t), 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A generous config budget is satisfiable by shrinking storage.
+	gr, err := SynthesizeToGoal(prof, DefaultOptions(), Goal{MaxConfigBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.ConfigBytes > 2048 {
+		t.Errorf("config %dB over budget", gr.ConfigBytes)
+	}
+	// An absurd budget must fail with a diagnostic, not loop forever.
+	if _, err := SynthesizeToGoal(prof, DefaultOptions(), Goal{MaxConfigBytes: 10}); err == nil {
+		t.Error("impossible budget accepted")
+	}
+}
+
+func TestSynthesizeToGoalUnreachable(t *testing.T) {
+	prof, err := profile.Collect(buildProg(t), 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SynthesizeToGoal(prof, DefaultOptions(), Goal{MaxCodeRatio: 0.10}); err == nil {
+		t.Error("impossible size goal accepted")
+	}
+}

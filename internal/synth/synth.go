@@ -1,0 +1,445 @@
+// Package synth implements the FITS instruction-set synthesis stage
+// (the paper's Section 3.3): given a profile it selects the Base
+// Instruction Set (BIS), grows the Supplemental Instruction Set (SIS)
+// until the ISA can express the whole application (Turing-completeness
+// closure), fills the remaining opcode points with the
+// Application-specific Instruction Set (AIS) by profile benefit —
+// including two-operand variants and implied-base memory variants —
+// assigns each point's immediate encoding (inline field vs an index
+// into programmable value storage, the paper's utilization-based
+// immediate dictionary), builds the register window, and searches the
+// opcode field width k for the lowest-cost encoding.
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"powerfits/internal/isa"
+	"powerfits/internal/isa/fits"
+	"powerfits/internal/profile"
+	"powerfits/internal/program"
+	"powerfits/internal/translate"
+)
+
+// Options controls synthesis; use DefaultOptions as the base.
+type Options struct {
+	// ForceK pins the opcode width (0 = search MinK..MaxK).
+	ForceK int
+	// DictCap caps the total programmable immediate storage (value
+	// table entries summed over all points).
+	DictCap int
+	// NoDict disables dictionary-mode points entirely (ablation).
+	NoDict bool
+	// NoWindowRanking uses the identity register window r0..r15 instead
+	// of profile ranking (ablation of the programmable register
+	// decoder).
+	NoWindowRanking bool
+	// NoTwoOp disables two-operand point variants (ablation of the
+	// paper's operand-mode heuristic).
+	NoTwoOp bool
+	// NoBasePoints disables implied-base memory variants (ablation).
+	NoBasePoints bool
+}
+
+// DefaultOptions returns the configuration used by the experiments.
+func DefaultOptions() Options {
+	return Options{DictCap: 256}
+}
+
+// Synthesis is the result of instruction-set synthesis for one program.
+type Synthesis struct {
+	Spec *fits.Spec
+	K    int
+
+	// BIS, SIS and AIS partition the signature points by provenance.
+	BIS []fits.Signature
+	SIS []fits.Signature
+	AIS []fits.Signature
+
+	// DictEntries is the total programmable value storage used.
+	DictEntries int
+
+	// Cost is the weighted halfword cost of the chosen encoding
+	// (dynamic fetch halfwords plus static code halfwords).
+	Cost uint64
+
+	// CandidateCost records the cost of every feasible opcode width
+	// tried; CandidateErr the reason an opcode width was infeasible.
+	CandidateCost map[int]uint64
+	CandidateErr  map[int]string
+}
+
+// BaseInstructionSet returns the fixed BIS: the signatures "found
+// across all applications" (paper Section 3.3) that every synthesized
+// ISA carries, plus the LDC anchor that (with EXT) makes any constant
+// expressible.
+func BaseInstructionSet() []fits.Signature {
+	alu := func(op isa.Op, imm bool) fits.Signature {
+		return fits.Signature{Op: op, Cond: isa.AL, OperandImm: imm}
+	}
+	mem := func(op isa.Op) fits.Signature {
+		return fits.Signature{Op: op, Cond: isa.AL, Mode: isa.AMOffImm, OperandImm: true}
+	}
+	br := func(c isa.Cond) fits.Signature {
+		return fits.Signature{Op: isa.BC, Cond: c}
+	}
+	return []fits.Signature{
+		alu(isa.MOV, false), alu(isa.MOV, true),
+		alu(isa.ADD, false), alu(isa.ADD, true),
+		alu(isa.SUB, false), alu(isa.SUB, true),
+		{Op: isa.CMP, Cond: isa.AL}, {Op: isa.CMP, Cond: isa.AL, OperandImm: true},
+		{Op: isa.B, Cond: isa.AL}, br(isa.EQ), br(isa.NE),
+		{Op: isa.BL, Cond: isa.AL}, {Op: isa.BX, Cond: isa.AL},
+		mem(isa.LDR), mem(isa.STR), mem(isa.LDRB), mem(isa.STRB),
+		{Op: isa.PUSH, Cond: isa.AL}, {Op: isa.POP, Cond: isa.AL},
+		{Op: isa.SWI, Cond: isa.AL, OperandImm: true},
+		fits.LdcSig(),
+	}
+}
+
+// Synthesize runs the full synthesis flow over a collected profile.
+func Synthesize(prof *profile.Profile, opts Options) (*Synthesis, error) {
+	lo, hi := fits.MinK, fits.MaxK
+	if opts.ForceK != 0 {
+		lo, hi = opts.ForceK, opts.ForceK
+	}
+	out := &Synthesis{
+		CandidateCost: make(map[int]uint64),
+		CandidateErr:  make(map[int]string),
+	}
+	var best *Synthesis
+	for k := lo; k <= hi; k++ {
+		cand, err := synthesizeK(prof, k, opts)
+		if err != nil {
+			out.CandidateErr[k] = err.Error()
+			continue
+		}
+		out.CandidateCost[k] = cand.Cost
+		if best == nil || cand.Cost < best.Cost {
+			best = cand
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("synth: %s: no feasible opcode width in [%d,%d]: %v",
+			prof.Prog.Name, lo, hi, out.CandidateErr)
+	}
+	best.CandidateCost = out.CandidateCost
+	best.CandidateErr = out.CandidateErr
+	return best, nil
+}
+
+// sigStats aggregates, per candidate signature, the weight of the
+// instruction instances it could encode and the histogram of their
+// value-field contents.
+type sigStats struct {
+	weight uint64
+	values map[int32]uint64
+}
+
+// collectStats walks the program once and attributes every instruction
+// to each point variant that could encode it (exact, two-operand,
+// implied-base), per the encoder's candidate rules.
+func collectStats(p *program.Program, dyn []uint64, opts Options) map[fits.Signature]*sigStats {
+	stats := make(map[fits.Signature]*sigStats)
+	note := func(sig fits.Signature, in *isa.Instr, w uint64) {
+		st := stats[sig]
+		if st == nil {
+			st = &sigStats{values: make(map[int32]uint64)}
+			stats[sig] = st
+		}
+		st.weight += w
+		if fits.HasValueField(fits.FormatOf(sig)) {
+			if v, err := fits.ValueOf(in, sig); err == nil {
+				st.values[int32(v)] += w
+			}
+		}
+	}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.Op == isa.NOP {
+			continue
+		}
+		w := dyn[i] + 1
+		var sig fits.Signature
+		if in.Op == isa.LDC {
+			sig = fits.LdcSig()
+		} else {
+			sig = fits.SigOf(in)
+		}
+		note(sig, in, w)
+		if !opts.NoTwoOp && sig.CanTwoOp() {
+			if (sig.Op == isa.MUL && in.Rd == in.Rm) || (sig.Op != isa.MUL && in.Rd == in.Rn) {
+				note(sig.AsTwoOp(), in, w)
+			}
+		}
+		if !opts.NoBasePoints && sig.CanBase() {
+			note(sig.AsBase(in.Rn), in, w)
+		}
+	}
+	return stats
+}
+
+// synthesizeK builds and evaluates the spec for one opcode width.
+func synthesizeK(prof *profile.Profile, k int, opts Options) (*Synthesis, error) {
+	p := prof.Prog
+	capacity := 1 << k
+	stats := collectStats(p, prof.Dyn, opts)
+
+	// Register window for narrow fields.
+	var window []isa.Reg
+	if 16-k-8 < 4 {
+		if opts.NoWindowRanking {
+			for r := isa.Reg(0); r < isa.NumRegs; r++ {
+				window = append(window, r)
+			}
+		} else {
+			window = prof.RankedRegs()
+		}
+	}
+
+	type prov int
+	const (
+		provBIS prov = iota
+		provSIS
+		provAIS
+	)
+	set := make(map[fits.Signature]prov)
+	for _, s := range BaseInstructionSet() {
+		set[s] = provBIS
+	}
+
+	buildSpec := func() (*fits.Spec, error) {
+		sigs := make([]fits.Signature, 0, len(set))
+		for s := range set {
+			sigs = append(sigs, s)
+		}
+		sort.Slice(sigs, func(a, b int) bool { return sigs[a].String() < sigs[b].String() })
+		points := make([]fits.Point, 0, len(sigs)+1)
+		points = append(points, fits.Point{Kind: fits.PointExt})
+		for _, s := range sigs {
+			points = append(points, fits.Point{Kind: fits.PointSig, Sig: s})
+		}
+		if len(points) > capacity {
+			return nil, fmt.Errorf("synth: %d opcode points exceed 2^%d", len(points), k)
+		}
+		assignModes(points, stats, k, opts)
+		return fits.NewSpec(p.Name, k, points, window)
+	}
+
+	// SIS closure: add every signature the translator reports missing
+	// until the whole program lowers.
+	for iter := 0; ; iter++ {
+		if iter > 4*capacity {
+			return nil, fmt.Errorf("synth: SIS closure did not converge")
+		}
+		spec, err := buildSpec()
+		if err != nil {
+			return nil, err
+		}
+		missing := map[fits.Signature]bool{}
+		for i := range p.Instrs {
+			if _, err := translate.LowerCount(&p.Instrs[i], spec); err != nil {
+				var np *fits.NoPointError
+				if errors.As(err, &np) {
+					missing[np.Sig] = true
+					continue
+				}
+				return nil, fmt.Errorf("synth: instr %d (%s) unlowerable: %w", i, &p.Instrs[i], err)
+			}
+		}
+		if len(missing) == 0 {
+			break
+		}
+		for s := range missing {
+			if _, ok := set[s]; !ok {
+				set[s] = provSIS
+			}
+		}
+	}
+
+	// AIS: fill the remaining opcode points by profile benefit.
+	budget := capacity - 1 - len(set)
+	if budget < 0 {
+		return nil, fmt.Errorf("synth: BIS+SIS of %d signatures exceed 2^%d budget", len(set), k)
+	}
+	for _, cand := range rankedCandidates(stats) {
+		if budget == 0 {
+			break
+		}
+		if _, ok := set[cand]; ok {
+			continue
+		}
+		set[cand] = provAIS
+		budget--
+	}
+
+	spec, err := buildSpec()
+	if err != nil {
+		return nil, err
+	}
+	res, err := translate.Translate(p, spec)
+	if err != nil {
+		return nil, err
+	}
+
+	syn := &Synthesis{Spec: spec, K: k, Cost: cost(res, prof.Dyn), DictEntries: spec.DictEntries()}
+	for s, pv := range set {
+		switch pv {
+		case provBIS:
+			syn.BIS = append(syn.BIS, s)
+		case provSIS:
+			syn.SIS = append(syn.SIS, s)
+		default:
+			syn.AIS = append(syn.AIS, s)
+		}
+	}
+	for _, lst := range []*[]fits.Signature{&syn.BIS, &syn.SIS, &syn.AIS} {
+		sort.Slice(*lst, func(a, b int) bool { return (*lst)[a].String() < (*lst)[b].String() })
+	}
+	return syn, nil
+}
+
+// rankedCandidates orders candidate signatures by weight, descending.
+func rankedCandidates(stats map[fits.Signature]*sigStats) []fits.Signature {
+	type scored struct {
+		sig fits.Signature
+		w   uint64
+	}
+	cands := make([]scored, 0, len(stats))
+	for sig, st := range stats {
+		cands = append(cands, scored{sig, st.weight})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].w != cands[b].w {
+			return cands[a].w > cands[b].w
+		}
+		return cands[a].sig.String() < cands[b].sig.String()
+	})
+	out := make([]fits.Signature, len(cands))
+	for i, c := range cands {
+		out[i] = c.sig
+	}
+	return out
+}
+
+// assignModes chooses inline vs dictionary encoding for every value
+// field and fills the per-point value tables within the global storage
+// cap, by descending benefit — the paper's utilization-based immediate
+// synthesis.
+func assignModes(points []fits.Point, stats map[fits.Signature]*sigStats, k int, opts Options) {
+	if opts.NoDict {
+		return
+	}
+	pb := 16 - k
+	extsInline := func(v uint32, bits int) uint64 {
+		n := uint64(0)
+		for rest := v >> bits; rest != 0; rest >>= pb {
+			n++
+		}
+		return n
+	}
+	// A dictionary miss is carried inline with at least one marker EXT.
+	extsMiss := func(v uint32, bits int) uint64 {
+		if n := extsInline(v, bits); n > 0 {
+			return n
+		}
+		return 1
+	}
+
+	type plan struct {
+		idx     int
+		values  []int32
+		benefit uint64
+	}
+	var plans []plan
+	for i := range points {
+		pt := &points[i]
+		if pt.Kind != fits.PointSig {
+			continue
+		}
+		f := fits.FormatOf(pt.Sig)
+		if !fits.HasValueField(f) {
+			continue
+		}
+		st := stats[pt.Sig]
+		if st == nil || len(st.values) == 0 {
+			continue
+		}
+		bits := fits.FieldBits(f, k)
+		// Rank values by weight (value ascending as tie-break).
+		vals := make([]int32, 0, len(st.values))
+		for v := range st.values {
+			vals = append(vals, v)
+		}
+		sort.Slice(vals, func(a, b int) bool {
+			wa, wb := st.values[vals[a]], st.values[vals[b]]
+			if wa != wb {
+				return wa > wb
+			}
+			return vals[a] < vals[b]
+		})
+		max := 1 << bits
+		if len(vals) > max {
+			vals = vals[:max]
+		}
+		inTable := make(map[int32]bool, len(vals))
+		for _, v := range vals {
+			inTable[v] = true
+		}
+		var costInline, costDict uint64
+		for v, w := range st.values {
+			costInline += w * extsInline(uint32(v), bits)
+			if !inTable[v] {
+				costDict += w * extsMiss(uint32(v), bits)
+			}
+		}
+		if costDict < costInline {
+			plans = append(plans, plan{idx: i, values: vals, benefit: costInline - costDict})
+		}
+	}
+	sort.Slice(plans, func(a, b int) bool {
+		if plans[a].benefit != plans[b].benefit {
+			return plans[a].benefit > plans[b].benefit
+		}
+		return plans[a].idx < plans[b].idx
+	})
+	remaining := opts.DictCap
+	for _, pl := range plans {
+		if len(pl.values) > remaining {
+			continue
+		}
+		points[pl.idx].ImmDict = true
+		points[pl.idx].Values = pl.values
+		remaining -= len(pl.values)
+	}
+}
+
+// cost is the synthesis objective: dynamically weighted fetch halfwords
+// plus static code halfwords (lower is better for both power and code
+// size).
+func cost(res *translate.Result, dyn []uint64) uint64 {
+	var total uint64
+	for i := 0; i < len(res.OrigStart)-1; i++ {
+		var hw uint64
+		for u := res.OrigStart[i]; u < res.OrigStart[i+1]; u++ {
+			hw += uint64(res.Image.InstrSize[u]) / 2
+		}
+		total += hw * (dyn[i] + 1)
+	}
+	return total
+}
+
+// SynthesizeProgram profiles and synthesizes in one call.
+func SynthesizeProgram(p *program.Program, maxInstrs uint64, opts Options) (*profile.Profile, *Synthesis, error) {
+	prof, err := profile.Collect(p, maxInstrs)
+	if err != nil {
+		return nil, nil, err
+	}
+	syn, err := Synthesize(prof, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prof, syn, nil
+}

@@ -1,0 +1,154 @@
+// Package trace provides instruction-fetch address traces: a recording
+// fetch port that captures the address stream of a timing run, a
+// compact delta-encoded binary format, and a replay engine that drives
+// any cache geometry from a recorded trace without re-simulating the
+// processor — the classic trace-driven methodology the paper's
+// SimpleScalar/sim-panalyzer framework is built on, useful here for
+// fast cache-design sweeps.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"powerfits/internal/cache"
+	"powerfits/internal/cpu"
+)
+
+// Trace is a recorded instruction-fetch address stream.
+type Trace struct {
+	Name string
+	// BlockBytes is the fetch width the stream was recorded at.
+	BlockBytes int
+	// Addrs are the fetched block addresses in program order.
+	Addrs []uint32
+}
+
+// Recorder wraps a fetch port and captures every access.
+type Recorder struct {
+	Inner cpu.FetchPort
+	T     Trace
+}
+
+// NewRecorder wraps inner (which may be nil for an ideal memory).
+func NewRecorder(name string, blockBytes int, inner cpu.FetchPort) *Recorder {
+	if inner == nil {
+		inner = cpu.NullFetchPort
+	}
+	return &Recorder{Inner: inner, T: Trace{Name: name, BlockBytes: blockBytes}}
+}
+
+// FetchBlock records the access and forwards it.
+func (r *Recorder) FetchBlock(addr uint32) int {
+	r.T.Addrs = append(r.T.Addrs, addr)
+	return r.Inner.FetchBlock(addr)
+}
+
+// Tick forwards the cycle notification.
+func (r *Recorder) Tick() {
+	r.Inner.Tick()
+}
+
+// Replay drives a cache of the given geometry with the trace and
+// returns its statistics.
+func Replay(t *Trace, cfg cache.Config) (cache.Stats, error) {
+	c, err := cache.New(cfg)
+	if err != nil {
+		return cache.Stats{}, err
+	}
+	for _, a := range t.Addrs {
+		c.Access(a)
+	}
+	return c.Stats(), nil
+}
+
+// traceMagic identifies the binary trace format.
+const traceMagic = 0x46545243 // "FTRC"
+
+// Marshal encodes the trace compactly: fetch streams are mostly
+// sequential, so addresses are zig-zag varint deltas.
+func (t *Trace) Marshal() []byte {
+	out := binary.LittleEndian.AppendUint32(nil, traceMagic)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(t.Name)))
+	out = append(out, t.Name...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(t.BlockBytes))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(t.Addrs)))
+	prev := uint32(0)
+	for _, a := range t.Addrs {
+		delta := int64(a) - int64(prev)
+		out = binary.AppendVarint(out, delta)
+		prev = a
+	}
+	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+}
+
+// Unmarshal decodes a binary trace.
+func Unmarshal(data []byte) (*Trace, error) {
+	if len(data) < 18 {
+		return nil, fmt.Errorf("trace: too short")
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("trace: checksum mismatch")
+	}
+	if binary.LittleEndian.Uint32(body) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic")
+	}
+	pos := 4
+	nameLen := int(binary.LittleEndian.Uint16(body[pos:]))
+	pos += 2
+	if pos+nameLen+8 > len(body) {
+		return nil, fmt.Errorf("trace: truncated header")
+	}
+	t := &Trace{Name: string(body[pos : pos+nameLen])}
+	pos += nameLen
+	t.BlockBytes = int(binary.LittleEndian.Uint32(body[pos:]))
+	pos += 4
+	n := int(binary.LittleEndian.Uint32(body[pos:]))
+	pos += 4
+	t.Addrs = make([]uint32, 0, n)
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		delta, used := binary.Varint(body[pos:])
+		if used <= 0 {
+			return nil, fmt.Errorf("trace: corrupt delta at entry %d", i)
+		}
+		pos += used
+		prev += delta
+		if prev < 0 || prev > 0xFFFFFFFF {
+			return nil, fmt.Errorf("trace: address out of range at entry %d", i)
+		}
+		t.Addrs = append(t.Addrs, uint32(prev))
+	}
+	if pos != len(body) {
+		return nil, fmt.Errorf("trace: %d trailing bytes", len(body)-pos)
+	}
+	return t, nil
+}
+
+// SweepPoint is one cache size's replay outcome.
+type SweepPoint struct {
+	Config cache.Config
+	Stats  cache.Stats
+}
+
+// SizeSweep replays the trace across a range of cache sizes with the
+// given line size and associativity (associativity is reduced when a
+// size cannot hold it).
+func SizeSweep(t *Trace, sizes []int, lineBytes, assoc int) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, size := range sizes {
+		a := assoc
+		for a > 1 && size/(lineBytes*a) < 1 {
+			a /= 2
+		}
+		cfg := cache.Config{SizeBytes: size, LineBytes: lineBytes, Assoc: a}
+		st, err := Replay(t, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{cfg, st})
+	}
+	return out, nil
+}

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"testing"
+
+	"powerfits/internal/cache"
+	"powerfits/internal/cpu"
+	"powerfits/internal/isa/arm"
+	"powerfits/internal/kernels"
+)
+
+// record captures the fetch trace of one kernel's ARM timing run.
+func record(t *testing.T, name string) *Trace {
+	t.Helper()
+	p := kernels.MustGet(name).Build(1)
+	im, err := arm.Assemble(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cpu.DefaultPipeConfig()
+	rec := NewRecorder(name, cfg.BlockBytes, nil)
+	m := cpu.New(p, cpu.ImageLayout(im))
+	if _, err := cpu.RunPipeline(m, cfg, rec); err != nil {
+		t.Fatal(err)
+	}
+	return &rec.T
+}
+
+func TestRecordAndReplayMatchesLiveCache(t *testing.T) {
+	// Replaying the recorded stream through a cache must reproduce the
+	// exact hit/miss statistics a live cache would have seen — the
+	// foundation of trace-driven methodology.
+	tr := record(t, "crc32")
+	if len(tr.Addrs) == 0 {
+		t.Fatal("empty trace")
+	}
+
+	// Live run with an actual cache attached.
+	p := kernels.MustGet("crc32").Build(1)
+	im, err := arm.Assemble(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cache.SA1100ICacheHalf()
+	live := cache.MustNew(cfg)
+	port := &cachePort{c: live}
+	m := cpu.New(p, cpu.ImageLayout(im))
+	if _, err := cpu.RunPipeline(m, cpu.DefaultPipeConfig(), port); err != nil {
+		t.Fatal(err)
+	}
+
+	replayed, err := Replay(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != live.Stats() {
+		t.Fatalf("replay %+v != live %+v", replayed, live.Stats())
+	}
+}
+
+// cachePort is a minimal fetch port with only a cache behind it.
+// Misses are free so the fetch stream matches the ideal-memory
+// recording.
+type cachePort struct{ c *cache.Cache }
+
+func (p *cachePort) FetchBlock(a uint32) int {
+	p.c.Access(a)
+	return 0
+}
+func (p *cachePort) Tick() {}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	tr := record(t, "qsort")
+	blob := tr.Marshal()
+	back, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != tr.Name || back.BlockBytes != tr.BlockBytes || len(back.Addrs) != len(tr.Addrs) {
+		t.Fatalf("header mismatch")
+	}
+	for i := range tr.Addrs {
+		if back.Addrs[i] != tr.Addrs[i] {
+			t.Fatalf("address %d differs", i)
+		}
+	}
+	// Sequential fetch streams must compress well below 4 bytes/event.
+	if ratio := float64(len(blob)) / float64(4*len(tr.Addrs)); ratio > 0.5 {
+		t.Errorf("compression ratio %.2f too poor", ratio)
+	}
+}
+
+func TestMarshalCorruption(t *testing.T) {
+	tr := record(t, "crc32")
+	blob := tr.Marshal()
+	for _, pos := range []int{0, 5, len(blob) / 2, len(blob) - 1} {
+		bad := append([]byte(nil), blob...)
+		bad[pos] ^= 0xA5
+		if _, err := Unmarshal(bad); err == nil {
+			t.Errorf("corruption at %d undetected", pos)
+		}
+	}
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("empty blob accepted")
+	}
+}
+
+func TestSizeSweepMonotonic(t *testing.T) {
+	tr := record(t, "jpeg")
+	pts, err := SizeSweep(tr, []int{1 << 11, 1 << 12, 1 << 13, 1 << 14, 1 << 15}, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Stats.Misses > pts[i-1].Stats.Misses {
+			t.Errorf("misses grew with capacity: %d KB %d → %d KB %d",
+				pts[i-1].Config.SizeBytes/1024, pts[i-1].Stats.Misses,
+				pts[i].Config.SizeBytes/1024, pts[i].Stats.Misses)
+		}
+	}
+	// jpeg's ARM footprint (~13.7 KB) must show the thrash knee between
+	// 8 KB and 16 KB.
+	if pts[2].Stats.MissRate() < 5*pts[3].Stats.MissRate() {
+		t.Errorf("expected thrash knee: 8K %.6f vs 16K %.6f",
+			pts[2].Stats.MissRate(), pts[3].Stats.MissRate())
+	}
+}
