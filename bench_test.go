@@ -287,6 +287,48 @@ func BenchmarkARMAssemble(b *testing.B) {
 	}
 }
 
+// BenchmarkFetchPort measures the I-cache fetch hot path — cache lookup
+// plus power accrual per fetched block — which must not allocate in the
+// steady state (the port aliases the image text and reuses a per-port
+// scratch buffer).
+func BenchmarkFetchPort(b *testing.B) {
+	s, err := sim.Prepare(kernels.MustGet("crc32"), 1, synth.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pc := cpu.DefaultPipeConfig()
+	c := cache.MustNew(cache.SA1100ICache())
+	m := power.MustNewMeter(cache.SA1100ICache(), power.DefaultCalibration())
+	port := sim.NewFetchPort(c, m, s.ArmImage, pc.BlockBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		port.FetchBlock(s.ArmImage.TextBase + uint32(i*4)&0xFC)
+		port.Tick()
+	}
+}
+
+// BenchmarkSuiteParallel regenerates the whole scale-1 suite through
+// the parallel experiment engine at full parallelism — the
+// cmd/fitsbench path, and the headline number for engine speedups.
+func BenchmarkSuiteParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunParallel(1, 0, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuiteSequential is BenchmarkSuiteParallel pinned to one
+// worker, the baseline the engine's speedup is measured against.
+func BenchmarkSuiteSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunParallel(1, 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCacheAccess measures the set-associative LRU cache.
 func BenchmarkCacheAccess(b *testing.B) {
 	c := cache.MustNew(cache.SA1100ICache())

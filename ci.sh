@@ -1,0 +1,18 @@
+#!/bin/sh
+# Tier-1 verification plus the concurrency checks for the parallel
+# experiment engine. Run from the repository root.
+set -eu
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (parallel engine + sim) =="
+go test -race ./internal/sim ./internal/experiments
+
+echo "ci.sh: all checks passed"

@@ -6,13 +6,16 @@
 //
 // Usage:
 //
-//	fitsbench                 # every figure at default scale
+//	fitsbench                 # every figure at default scale, all cores
+//	fitsbench -j 1            # sequential engine (identical tables)
 //	fitsbench -exp fig11      # one figure
 //	fitsbench -exp ablations  # the four synthesis ablations
 //	fitsbench -scale 1 -q     # quick run, no progress lines
+//	fitsbench -json BENCH_suite.json   # also emit timing/headline JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,11 +24,48 @@ import (
 	"powerfits/internal/experiments"
 )
 
+// benchJSON is the -json report: the suite's wall clock, per-kernel
+// prepare/run times and the headline/table averages, so successive PRs
+// can track the performance trajectory.
+type benchJSON struct {
+	Scale     int                        `json:"scale"`
+	Workers   int                        `json:"workers"`
+	WallSec   float64                    `json:"wall_sec"`
+	Kernels   []experiments.KernelTiming `json:"kernels"`
+	Headline  map[string]float64         `json:"headline"`
+	TableAvgs map[string][]float64       `json:"table_averages"`
+}
+
+func writeJSON(path string, scale int, suite *experiments.Suite) error {
+	rep := benchJSON{
+		Scale:     scale,
+		Workers:   suite.Workers,
+		WallSec:   suite.WallSec,
+		Kernels:   suite.Timings,
+		Headline:  make(map[string]float64),
+		TableAvgs: make(map[string][]float64),
+	}
+	head := suite.Headline()
+	for i, col := range head.Columns {
+		rep.Headline[col] = head.Rows[0].Vals[i]
+	}
+	for _, t := range suite.AllFigures() {
+		rep.TableAvgs[t.ID] = t.Average()
+	}
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
 func main() {
 	var (
-		scale = flag.Int("scale", 0, "workload scale (0 = per-kernel default)")
-		exp   = flag.String("exp", "all", "experiment id: all, figs, fig3..fig14, headline, ablations, ablate-opwidth, ablate-dict, ablate-regs, ablate-mode")
-		quiet = flag.Bool("q", false, "suppress progress output")
+		scale    = flag.Int("scale", 0, "workload scale (0 = per-kernel default)")
+		exp      = flag.String("exp", "all", "experiment id: all, figs, fig3..fig14, headline, ablations, ablate-opwidth, ablate-dict, ablate-regs, ablate-mode")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+		jobs     = flag.Int("j", 0, "parallel workers (0 = all cores, 1 = sequential)")
+		jsonPath = flag.String("json", "", "write suite timing and headline averages as JSON to this path")
 	)
 	flag.Parse()
 
@@ -45,16 +85,30 @@ func main() {
 	}
 
 	if needSuite {
-		suite, err := experiments.Run(*scale, progress)
+		suite, err := experiments.RunParallel(*scale, *jobs, progress)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fitsbench:", err)
 			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "suite generated in %.2fs with %d workers\n",
+				suite.WallSec, suite.Workers)
 		}
 		for _, t := range suite.AllFigures() {
 			if want == "all" || want == "figs" || want == t.ID || strings.HasPrefix(t.ID, want) {
 				tables = append(tables, t)
 			}
 		}
+		if *jsonPath != "" {
+			if err := writeJSON(*jsonPath, *scale, suite); err != nil {
+				fmt.Fprintln(os.Stderr, "fitsbench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+		}
+	} else if *jsonPath != "" {
+		fmt.Fprintln(os.Stderr, "fitsbench: -json requires a suite experiment (not ablations/extensions)")
+		os.Exit(1)
 	}
 
 	ext := func(f func(int) (*experiments.Table, error)) *experiments.Table {

@@ -11,7 +11,7 @@
 //	powerfits dump   -kernel crc32           # assembly text (re-assembles with `asm`)
 //	powerfits run    -kernel crc32 [-config FITS8] [-scale N]
 //	powerfits asm    -file prog.s [-config FITS8]   # assemble + full flow + run
-//	powerfits sweep  -kernel jpeg                   # trace-driven cache-size sweep
+//	powerfits sweep  -kernel jpeg [-j N]            # trace-driven cache-size sweep
 //	powerfits config -kernel crc32 > crc32.cfg      # the decoder-configuration image
 package main
 
@@ -19,7 +19,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 
 	"powerfits/internal/asm"
 	"powerfits/internal/cpu"
@@ -48,6 +50,7 @@ func main() {
 	cfgName := fs.String("config", "FITS8", "configuration: ARM16, ARM8, FITS16, FITS8")
 	fitsSide := fs.Bool("fits", false, "disassemble the FITS translation instead of ARM")
 	file := fs.String("file", "", "assembly source file (asm command)")
+	jobs := fs.Int("j", 0, "parallel workers for sweep (0 = all cores, 1 = sequential)")
 	_ = fs.Parse(os.Args[2:])
 
 	if cmd == "list" {
@@ -100,7 +103,7 @@ func main() {
 		fmt.Println()
 		run(s, *cfgName)
 	case "sweep":
-		sweep(s)
+		sweep(s, *jobs)
 	case "config":
 		blob := s.Synth.Spec.MarshalConfig()
 		if _, err := os.Stdout.Write(blob); err != nil {
@@ -114,35 +117,76 @@ func main() {
 
 // sweep records one fetch trace per ISA and replays it across cache
 // sizes — the trace-driven methodology, thousands of times faster than
-// re-simulating the pipeline per design point.
-func sweep(s *sim.Setup) {
+// re-simulating the pipeline per design point. With workers > 1 the two
+// ISAs are traced and swept concurrently (each pipeline run and replay
+// owns all of its mutable state).
+func sweep(s *sim.Setup, workers int) {
 	pc := cpu.DefaultPipeConfig()
-	runTrace := func(name string, prog *program.Program, im *program.Image) *trace.Trace {
+	runTrace := func(name string, prog *program.Program, im *program.Image) (*trace.Trace, error) {
 		rec := trace.NewRecorder(name, pc.BlockBytes, nil)
 		m := cpu.New(prog, cpu.ImageLayout(im))
 		if _, err := cpu.RunPipeline(m, pc, rec); err != nil {
+			return nil, err
+		}
+		return &rec.T, nil
+	}
+	sizes := []int{2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10}
+
+	var armTr, fitsTr *trace.Trace
+	var armPts, fitsPts []trace.SweepPoint
+	steps := []func() error{
+		func() (err error) { armTr, err = runTrace("arm", s.Prog, s.ArmImage); return },
+		func() (err error) { fitsTr, err = runTrace("fits", s.Fits.Lowered, s.Fits.Image); return },
+	}
+	sweeps := []func() error{
+		func() (err error) { armPts, err = trace.SizeSweep(armTr, sizes, 32, 32); return },
+		func() (err error) { fitsPts, err = trace.SizeSweep(fitsTr, sizes, 32, 32); return },
+	}
+	for _, stage := range [][]func() error{steps, sweeps} {
+		if err := runStage(stage, workers); err != nil {
 			fatal(err)
 		}
-		return &rec.T
 	}
-	armTr := runTrace("arm", s.Prog, s.ArmImage)
-	fitsTr := runTrace("fits", s.Fits.Lowered, s.Fits.Image)
-	sizes := []int{2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10}
+
 	fmt.Printf("%s: trace-driven I-cache sweep (32B lines, 32-way; %d ARM / %d FITS fetches)\n",
 		s.Kernel.Name, len(armTr.Addrs), len(fitsTr.Addrs))
 	fmt.Printf("%8s %16s %16s\n", "size", "ARM miss/M", "FITS miss/M")
-	armPts, err := trace.SizeSweep(armTr, sizes, 32, 32)
-	if err != nil {
-		fatal(err)
-	}
-	fitsPts, err := trace.SizeSweep(fitsTr, sizes, 32, 32)
-	if err != nil {
-		fatal(err)
-	}
 	for i, size := range sizes {
 		fmt.Printf("%7dK %16.1f %16.1f\n", size/1024,
 			armPts[i].Stats.MissesPerMillion(), fitsPts[i].Stats.MissesPerMillion())
 	}
+}
+
+// runStage runs the stage's jobs, concurrently when workers allows, and
+// returns the first error.
+func runStage(jobs []func() error, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		for _, job := range jobs {
+			if err := job(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, job := range jobs {
+		wg.Add(1)
+		go func(i int, job func() error) {
+			defer wg.Done()
+			errs[i] = job()
+		}(i, job)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // userKernel wraps a parsed program as a one-off kernel.

@@ -69,7 +69,10 @@ type way struct {
 	lru   uint64 // last-use stamp; larger is more recent
 }
 
-// Cache is a set-associative cache with true-LRU replacement.
+// Cache is a set-associative cache with true-LRU replacement. A Cache
+// is not safe for concurrent use: it models one core's private I-cache
+// and belongs to exactly one simulation run (concurrent runs each
+// construct their own, which shares nothing).
 type Cache struct {
 	cfg       Config
 	sets      [][]way

@@ -81,6 +81,12 @@ func (e *ExecError) Error() string {
 }
 
 // Machine is the architectural state plus the functional interpreter.
+//
+// A Machine owns all of its mutable state (registers, flags, a private
+// copy of the data segment in Mem, output buffer); the Program and
+// Layout it is constructed with are only ever read. Distinct Machines
+// may therefore run concurrently over the same Program/Image, which the
+// parallel experiment engine does.
 type Machine struct {
 	Regs   [isa.NumRegs]uint32
 	N      bool

@@ -94,6 +94,9 @@ func (r *PipeResult) IPC() float64 {
 // RunPipeline executes the machine's program through the timing model,
 // fetching encoded instruction bytes through port. The machine must be
 // freshly constructed with the image layout of the target encoding.
+// Concurrent RunPipeline calls are safe as long as each has its own
+// machine and port: the run mutates only those two (the program and
+// layout behind them are read-only).
 func RunPipeline(m *Machine, cfg PipeConfig, port FetchPort) (*PipeResult, error) {
 	if cfg.IssueWidth <= 0 || cfg.BlockBytes <= 0 || cfg.BlockBytes&(cfg.BlockBytes-1) != 0 {
 		return nil, fmt.Errorf("cpu: invalid pipeline config %+v", cfg)

@@ -1,0 +1,208 @@
+// The parallel experiment engine: a bounded worker pool that fans out
+// per-kernel preparation and per-configuration timing runs as
+// independent jobs. Results are keyed and sorted exactly as the
+// sequential path produced them, so the rendered tables are
+// byte-identical at any parallelism (see TestParallelMatchesSequential).
+//
+// Goroutine-safety contract (audited per package):
+//   - sim.Setup is immutable after Prepare; Setup.Run builds all
+//     mutable state (cache.Cache, power.Meter, cpu.Machine, layout)
+//     per call.
+//   - program.Program and program.Image are read-only during runs; the
+//     fetch port aliases Image.Text without copying.
+//   - cache.Cache and power.Meter are single-owner (one per run) and
+//     are never shared across goroutines here.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"powerfits/internal/kernels"
+	"powerfits/internal/power"
+	"powerfits/internal/sim"
+	"powerfits/internal/synth"
+)
+
+// KernelTiming records the wall-clock cost of one kernel: preparation
+// (build, profile, synthesis, translation, Thumb sizing) and the timing
+// runs summed over the four configurations.
+type KernelTiming struct {
+	Kernel     string  `json:"kernel"`
+	PrepareSec float64 `json:"prepare_sec"`
+	RunSec     float64 `json:"run_sec"`
+}
+
+// engine is the bounded worker pool shared by every job of one suite
+// generation. Jobs acquire a slot before running; the first error
+// cancels all jobs that have not yet started (in-flight jobs finish).
+type engine struct {
+	sem  chan struct{}
+	done chan struct{}
+	once sync.Once
+	err  error
+}
+
+func newEngine(workers int) *engine {
+	return &engine{sem: make(chan struct{}, workers), done: make(chan struct{})}
+}
+
+// fail records the first error and cancels outstanding work.
+func (e *engine) fail(err error) {
+	e.once.Do(func() {
+		e.err = err
+		close(e.done)
+	})
+}
+
+// acquire blocks until a worker slot is free; it returns false when the
+// engine has been cancelled, in which case the job must not run.
+func (e *engine) acquire() bool {
+	select {
+	case <-e.done:
+		return false
+	case e.sem <- struct{}{}:
+	}
+	select {
+	case <-e.done:
+		<-e.sem
+		return false
+	default:
+		return true
+	}
+}
+
+func (e *engine) release() { <-e.sem }
+
+// RunParallel is Run with an explicit degree of parallelism.
+// workers ≤ 0 selects runtime.GOMAXPROCS(0); workers == 1 reproduces
+// the sequential engine. Whatever the parallelism, the resulting Suite
+// renders byte-identical tables: results are keyed by kernel and
+// configuration name and Setups are sorted by kernel name, just as the
+// sequential loop produced them. The progress callback is invoked from
+// a single drainer goroutine (never concurrently), one line per
+// completed kernel, in completion order.
+func RunParallel(scale, workers int, progress func(string)) (*Suite, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	ks := kernels.All()
+	s := &Suite{
+		Results: make(map[string]map[string]*sim.Result, len(ks)),
+		Cal:     power.DefaultCalibration(),
+		Chip:    power.DefaultChipModel(),
+		Workers: workers,
+	}
+
+	// One drainer goroutine serializes the progress callback.
+	var progCh chan string
+	var progWG sync.WaitGroup
+	if progress != nil {
+		progCh = make(chan string, len(ks))
+		progWG.Add(1)
+		go func() {
+			defer progWG.Done()
+			for line := range progCh {
+				progress(line)
+			}
+		}()
+	}
+
+	// Per-kernel result slots, written only by that kernel's goroutines.
+	type kernelRun struct {
+		setup   *sim.Setup
+		results []*sim.Result // indexed as sim.Configs
+		timing  KernelTiming
+	}
+	runs := make([]kernelRun, len(ks))
+
+	eng := newEngine(workers)
+	var wg sync.WaitGroup
+	for i := range ks {
+		wg.Add(1)
+		go func(kr *kernelRun, k kernels.Kernel) {
+			defer wg.Done()
+			kr.timing.Kernel = k.Name
+			if !eng.acquire() {
+				return
+			}
+			t0 := time.Now()
+			setup, err := sim.Prepare(k, scale, synth.DefaultOptions())
+			kr.timing.PrepareSec = time.Since(t0).Seconds()
+			eng.release()
+			if err != nil {
+				eng.fail(err)
+				return
+			}
+			kr.setup = setup
+
+			// Fan out the four configuration runs as independent jobs.
+			kr.results = make([]*sim.Result, len(sim.Configs))
+			runSec := make([]float64, len(sim.Configs))
+			var cwg sync.WaitGroup
+			for ci, cfg := range sim.Configs {
+				cwg.Add(1)
+				go func(ci int, cfg sim.Config) {
+					defer cwg.Done()
+					if !eng.acquire() {
+						return
+					}
+					t0 := time.Now()
+					r, err := setup.Run(cfg, s.Cal)
+					runSec[ci] = time.Since(t0).Seconds()
+					eng.release()
+					if err != nil {
+						eng.fail(err)
+						return
+					}
+					kr.results[ci] = r
+				}(ci, cfg)
+			}
+			cwg.Wait()
+			for _, sec := range runSec {
+				kr.timing.RunSec += sec
+			}
+			for _, r := range kr.results {
+				if r == nil {
+					return // cancelled mid-kernel
+				}
+			}
+			if progCh != nil {
+				// sim.Configs[0] is ARM16, matching the sequential line.
+				progCh <- fmt.Sprintf("%-16s done (%d dynamic instrs on ARM16)",
+					k.Name, kr.results[0].Pipe.Instrs)
+			}
+		}(&runs[i], ks[i])
+	}
+	wg.Wait()
+	if progCh != nil {
+		close(progCh)
+		progWG.Wait()
+	}
+	if eng.err != nil {
+		return nil, eng.err
+	}
+
+	for i := range runs {
+		kr := &runs[i]
+		res := make(map[string]*sim.Result, len(sim.Configs))
+		for ci, cfg := range sim.Configs {
+			res[cfg.Name] = kr.results[ci]
+		}
+		s.Setups = append(s.Setups, kr.setup)
+		s.Results[kr.setup.Kernel.Name] = res
+		s.Timings = append(s.Timings, kr.timing)
+	}
+	sort.Slice(s.Setups, func(a, b int) bool {
+		return s.Setups[a].Kernel.Name < s.Setups[b].Kernel.Name
+	})
+	sort.Slice(s.Timings, func(a, b int) bool {
+		return s.Timings[a].Kernel < s.Timings[b].Kernel
+	})
+	s.WallSec = time.Since(start).Seconds()
+	return s, nil
+}

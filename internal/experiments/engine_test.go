@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"powerfits/internal/kernels"
+)
+
+// renderAll renders every figure table of a suite into one string.
+func renderAll(s *Suite) string {
+	var sb strings.Builder
+	for _, tb := range s.AllFigures() {
+		tb.Render(&sb)
+	}
+	return sb.String()
+}
+
+// TestParallelMatchesSequential is the engine's determinism guarantee:
+// the suite run sequentially (-j 1) and in parallel (-j 8) must render
+// every figure table byte-for-byte identically. The parallel run also
+// exercises the serialized progress callback: it must fire exactly once
+// per kernel and never concurrently.
+func TestParallelMatchesSequential(t *testing.T) {
+	seq, err := RunParallel(1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var inCallback int32
+	var lines []string
+	par, err := RunParallel(1, 8, func(line string) {
+		if atomic.AddInt32(&inCallback, 1) != 1 {
+			t.Error("progress callback invoked concurrently")
+		}
+		lines = append(lines, line)
+		atomic.AddInt32(&inCallback, -1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if par.Workers != 8 || seq.Workers != 1 {
+		t.Errorf("workers recorded as %d/%d, want 1/8", seq.Workers, par.Workers)
+	}
+	if want := len(kernels.All()); len(lines) != want {
+		t.Errorf("progress fired %d times, want %d", len(lines), want)
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, "done") {
+			t.Errorf("malformed progress line %q", line)
+		}
+	}
+	if len(par.Timings) != len(kernels.All()) {
+		t.Errorf("timings cover %d kernels, want %d", len(par.Timings), len(kernels.All()))
+	}
+
+	a, b := renderAll(seq), renderAll(par)
+	if a != b {
+		al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+		for i := range al {
+			if i >= len(bl) || al[i] != bl[i] {
+				t.Fatalf("tables diverge at line %d:\nsequential: %q\nparallel:   %q", i, al[i], bl[i])
+			}
+		}
+		t.Fatalf("parallel output is a strict prefix of sequential output")
+	}
+}

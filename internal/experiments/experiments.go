@@ -9,13 +9,10 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 
-	"powerfits/internal/kernels"
 	"powerfits/internal/power"
 	"powerfits/internal/sim"
-	"powerfits/internal/synth"
 )
 
 // Table is one rendered experiment result.
@@ -101,37 +98,22 @@ type Suite struct {
 	Results map[string]map[string]*sim.Result // kernel -> config -> result
 	Cal     power.Calibration
 	Chip    power.ChipModel
+
+	// Workers is the parallelism the suite was generated with.
+	Workers int
+	// WallSec is the wall-clock time of the whole generation.
+	WallSec float64
+	// Timings records per-kernel prepare/run costs, sorted by kernel.
+	Timings []KernelTiming
 }
 
-// Run prepares and simulates the whole benchmark suite. scale ≤ 0 uses
-// each kernel's default scale. progress (optional) receives one line
-// per completed kernel.
+// Run prepares and simulates the whole benchmark suite on all available
+// cores (see RunParallel for an explicit worker count; the rendered
+// tables are identical at any parallelism). scale ≤ 0 uses each
+// kernel's default scale. progress (optional) receives one line per
+// completed kernel, never concurrently.
 func Run(scale int, progress func(string)) (*Suite, error) {
-	s := &Suite{
-		Results: make(map[string]map[string]*sim.Result),
-		Cal:     power.DefaultCalibration(),
-		Chip:    power.DefaultChipModel(),
-	}
-	for _, k := range kernels.All() {
-		setup, err := sim.Prepare(k, scale, synth.DefaultOptions())
-		if err != nil {
-			return nil, err
-		}
-		res, err := setup.RunAll(s.Cal)
-		if err != nil {
-			return nil, err
-		}
-		s.Setups = append(s.Setups, setup)
-		s.Results[k.Name] = res
-		if progress != nil {
-			progress(fmt.Sprintf("%-16s done (%d dynamic instrs on ARM16)",
-				k.Name, res[sim.ARM16.Name].Pipe.Instrs))
-		}
-	}
-	sort.Slice(s.Setups, func(a, b int) bool {
-		return s.Setups[a].Kernel.Name < s.Setups[b].Kernel.Name
-	})
-	return s, nil
+	return RunParallel(scale, 0, progress)
 }
 
 // kernelNames returns the suite's kernels in order.

@@ -361,3 +361,33 @@ func TestExpressible(t *testing.T) {
 		}
 	}
 }
+
+// TestSignatureKeyInjective pins the String collisions that once made
+// opcode numbering depend on map iteration order: pairs of distinct
+// signatures that render identically must still get distinct sort keys.
+func TestSignatureKeyInjective(t *testing.T) {
+	shifted := Signature{Op: isa.ADD, Cond: isa.AL, Shift: isa.LSL, ShiftAmt: 2}
+	regShift := Signature{Op: isa.ADD, Cond: isa.AL, Shift: isa.LSL, RegShift: true}
+	post := Signature{Op: isa.LDR, Cond: isa.AL, Mode: isa.AMPostImm, OperandImm: true}
+	pairs := []struct {
+		name string
+		a, b Signature
+	}{
+		{"shifted-operand two-op", shifted, shifted.AsTwoOp()},
+		{"register-shift two-op", regShift, regShift.AsTwoOp()},
+		{"post-indexed offset sign", post, Signature{Op: isa.LDR, Cond: isa.AL,
+			Mode: isa.AMPostImm, OperandImm: true, NegOff: true}},
+	}
+	for _, p := range pairs {
+		if p.a == p.b {
+			t.Fatalf("%s: test pair is not distinct", p.name)
+		}
+		if p.a.String() != p.b.String() {
+			t.Errorf("%s: expected a String collision (%q vs %q); update the pair",
+				p.name, p.a, p.b)
+		}
+		if p.a.Key() == p.b.Key() {
+			t.Errorf("%s: distinct signatures share sort key %q", p.name, p.a.Key())
+		}
+	}
+}

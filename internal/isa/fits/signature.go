@@ -145,6 +145,19 @@ func (s Signature) CanBase() bool {
 	return s.Op.Class() == isa.ClassMem && s.Mode != isa.AMOffReg && !s.HasBase
 }
 
+// Key returns a total-order sort key covering every Signature field.
+// String elides synthesis-only distinctions (TwoOp on shifted-operand
+// points, the offset sign of post-indexed memory points), so two
+// distinct signatures can render identically; sorting map-collected
+// signatures by String alone then depends on map iteration order and
+// makes opcode numbering — and therefore the encoded image bytes —
+// vary run to run. Key is injective, so it pins those ties.
+func (s Signature) Key() string {
+	return fmt.Sprintf("%d.%d.%t.%t.%d.%d.%t.%t.%d.%t.%t.%t.%d",
+		s.Op, s.Cond, s.SetFlags, s.OperandImm, s.Shift, s.ShiftAmt,
+		s.ShiftInField, s.RegShift, s.Mode, s.NegOff, s.TwoOp, s.HasBase, s.Base)
+}
+
 // String renders the signature compactly, e.g. "addeq.s r,r lsl#2" or
 // "ldrb [r,#]".
 func (s Signature) String() string {

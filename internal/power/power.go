@@ -122,6 +122,8 @@ func (r Report) Share() (sw, internal, leak float64) {
 
 // Meter accrues cache energy during a timing run. It is driven by the
 // simulation layer: Access on every cache access, Tick once per cycle.
+// A Meter belongs to exactly one run and is not safe for concurrent
+// use; concurrent simulations each construct their own.
 type Meter struct {
 	cal  Calibration
 	geom cache.Config
@@ -181,24 +183,25 @@ func MustNewMeter(geom cache.Config, cal Calibration) *Meter {
 func (m *Meter) Access(addr uint32, block []byte, miss bool) {
 	m.rep.Accesses++
 
-	var cur [2]uint64
-	nbits := 0
-	for i, b := range block {
-		if i >= 16 {
-			break
-		}
-		cur[i/8] |= uint64(b) << (8 * (i % 8))
-		nbits += 8
+	n := len(block)
+	if n > 16 {
+		n = 16
 	}
 	var dataToggles int
 	if m.cal.UseHamming {
+		var cur [2]uint64
+		for i := 0; i < n; i++ {
+			cur[i/8] |= uint64(block[i]) << (8 * (i % 8))
+		}
 		dataToggles = bits.OnesCount64(cur[0]^m.prevData[0]) +
 			bits.OnesCount64(cur[1]^m.prevData[1])
+		m.prevData = cur
 	} else {
-		dataToggles = nbits / 2 // fixed 50 % activity factor
+		// Default fast path: the fixed 50 % activity factor depends only
+		// on the delivered width, so the block bytes are never packed.
+		dataToggles = n * 8 / 2
 	}
 	toggles := dataToggles + bits.OnesCount32(addr^m.prevAddr)
-	m.prevData = cur
 	m.prevAddr = addr
 
 	sw := m.cal.SwitchPJPerBit * float64(toggles)

@@ -88,6 +88,51 @@ func TestHammingMode(t *testing.T) {
 	}
 }
 
+// TestDefaultModeIgnoresContents pins the fast path: with UseHamming
+// off (the default) the switching energy depends only on the delivered
+// width and the address, never on the block bytes.
+func TestDefaultModeIgnoresContents(t *testing.T) {
+	a, _ := testMeter(t, cache.SA1100ICache())
+	b, _ := testMeter(t, cache.SA1100ICache())
+	for i := 0; i < 64; i++ {
+		addr := uint32(i * 4)
+		a.Access(addr, []byte{0, 0, 0, 0}, false)
+		b.Access(addr, []byte{byte(i), 0xFF, byte(i >> 3), 0xA5}, false)
+		a.Tick()
+		b.Tick()
+	}
+	if ra, rb := a.Report(), b.Report(); ra != rb {
+		t.Errorf("default-mode reports differ with block contents:\n%+v\n%+v", ra, rb)
+	}
+}
+
+// TestAccessWidthCap pins the 16-byte output-bus cap for oversized
+// blocks in both switching models.
+func TestAccessWidthCap(t *testing.T) {
+	m, cal := testMeter(t, cache.SA1100ICache())
+	m.Access(0, make([]byte, 32), false) // capped at 16 bytes = 128 bits
+	m.Tick()
+	if got, want := m.Report().SwitchingPJ, cal.SwitchPJPerBit*64; math.Abs(got-want) > 1e-6 {
+		t.Errorf("oversized block switching = %f, want %f", got, want)
+	}
+
+	cal2 := DefaultCalibration()
+	cal2.UseHamming = true
+	h, err := NewMeter(cache.SA1100ICache(), cal2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 32)
+	for i := range big {
+		big[i] = 0xFF
+	}
+	h.Access(0, big, false) // only the first 16 bytes toggle
+	h.Tick()
+	if got, want := h.Report().SwitchingPJ, cal2.SwitchPJPerBit*128; math.Abs(got-want) > 1e-6 {
+		t.Errorf("hamming oversized block switching = %f, want %f", got, want)
+	}
+}
+
 func TestSizeScaling(t *testing.T) {
 	m16, _ := testMeter(t, cache.SA1100ICache())
 	m8, _ := testMeter(t, cache.SA1100ICacheHalf())

@@ -224,7 +224,10 @@ func (pr *Profile) RankedSigs() []fits.Signature {
 		if wa != wb {
 			return wa > wb
 		}
-		return sigs[a].String() < sigs[b].String()
+		if sa, sb := sigs[a].String(), sigs[b].String(); sa != sb {
+			return sa < sb
+		}
+		return sigs[a].Key() < sigs[b].Key()
 	})
 	return sigs
 }

@@ -130,7 +130,10 @@ func (p *Program) Validate() error {
 
 // Image is a target-encoded memory image of a program's text segment.
 // One semantic instruction may occupy one or more encoding slots
-// (e.g. a FITS EXT prefix plus its base instruction).
+// (e.g. a FITS EXT prefix plus its base instruction). Once built by an
+// encoder an Image is treated as read-only everywhere (the timing
+// pipeline's fetch port aliases Text directly), so one Image may back
+// any number of concurrent simulations.
 type Image struct {
 	// Text is the raw encoded text segment, starting at TextBase.
 	Text []byte

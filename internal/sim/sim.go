@@ -60,6 +60,12 @@ var Configs = []Config{ARM16, ARM8, FITS16, FITS8}
 const MissPenalty = 24
 
 // Setup holds everything derived from one kernel before timing runs.
+//
+// A Setup is immutable once Prepare returns: Run only reads it, so one
+// Setup may serve any number of concurrent Run calls (the parallel
+// experiment engine relies on this). Each Run builds its own cache,
+// power meter, layout and machine; the shared Program and Images are
+// treated as read-only by the pipeline.
 type Setup struct {
 	Kernel kernels.Kernel
 	Scale  int
@@ -121,24 +127,48 @@ type Result struct {
 }
 
 // icachePort implements cpu.FetchPort over the cache and power models.
+// A port is owned by exactly one pipeline run (it is not safe for
+// concurrent use). The fetch path is allocation-free in the steady
+// state: blocks fully inside the text segment alias the image directly,
+// and blocks straddling the bounds reuse a per-port scratch buffer.
 type icachePort struct {
 	c        *cache.Cache
 	m        *power.Meter
 	text     []byte
 	textBase uint32
 	block    int
+	buf      []byte // scratch for blocks straddling the text bounds
+}
+
+func newICachePort(c *cache.Cache, m *power.Meter, im *program.Image, blockBytes int) *icachePort {
+	return &icachePort{c: c, m: m, text: im.Text, textBase: im.TextBase,
+		block: blockBytes, buf: make([]byte, blockBytes)}
+}
+
+// NewFetchPort returns the simulator's I-cache fetch port — the cache
+// lookup plus power accrual behind every instruction fetch — for use by
+// benchmarks and custom pipelines. The port must not be shared across
+// concurrent pipeline runs.
+func NewFetchPort(c *cache.Cache, m *power.Meter, im *program.Image, blockBytes int) cpu.FetchPort {
+	return newICachePort(c, m, im, blockBytes)
 }
 
 func (p *icachePort) FetchBlock(addr uint32) int {
 	hit := p.c.Access(addr)
-	buf := make([]byte, p.block)
 	off := int64(addr) - int64(p.textBase)
-	for i := 0; i < p.block; i++ {
-		if o := off + int64(i); o >= 0 && o < int64(len(p.text)) {
-			buf[i] = p.text[o]
+	blk := p.buf
+	if off >= 0 && off+int64(p.block) <= int64(len(p.text)) {
+		blk = p.text[off : off+int64(p.block)]
+	} else {
+		for i := range blk {
+			b := byte(0)
+			if o := off + int64(i); o >= 0 && o < int64(len(p.text)) {
+				b = p.text[o]
+			}
+			blk[i] = b
 		}
 	}
-	p.m.Access(addr, buf, !hit)
+	p.m.Access(addr, blk, !hit)
 	if hit {
 		return 0
 	}
@@ -147,7 +177,9 @@ func (p *icachePort) FetchBlock(addr uint32) int {
 
 func (p *icachePort) Tick() { p.m.Tick() }
 
-// Run executes the prepared kernel under one configuration.
+// Run executes the prepared kernel under one configuration. It is safe
+// to call concurrently on the same Setup: every piece of mutable state
+// (cache, meter, layout index, machine) is created per call.
 func (s *Setup) Run(cfg Config, cal power.Calibration) (*Result, error) {
 	var prog *program.Program
 	var im *program.Image
@@ -166,7 +198,7 @@ func (s *Setup) Run(cfg Config, cal power.Calibration) (*Result, error) {
 		return nil, err
 	}
 	pc := cpu.DefaultPipeConfig()
-	port := &icachePort{c: c, m: meter, text: im.Text, textBase: im.TextBase, block: pc.BlockBytes}
+	port := newICachePort(c, meter, im, pc.BlockBytes)
 	m := cpu.New(prog, cpu.ImageLayout(im))
 	pipe, err := cpu.RunPipeline(m, pc, port)
 	if err != nil {

@@ -215,7 +215,12 @@ func synthesizeK(prof *profile.Profile, k int, opts Options) (*Synthesis, error)
 		for s := range set {
 			sigs = append(sigs, s)
 		}
-		sort.Slice(sigs, func(a, b int) bool { return sigs[a].String() < sigs[b].String() })
+		sort.Slice(sigs, func(a, b int) bool {
+			if sa, sb := sigs[a].String(), sigs[b].String(); sa != sb {
+				return sa < sb
+			}
+			return sigs[a].Key() < sigs[b].Key()
+		})
 		points := make([]fits.Point, 0, len(sigs)+1)
 		points = append(points, fits.Point{Kind: fits.PointExt})
 		for _, s := range sigs {
@@ -296,7 +301,12 @@ func synthesizeK(prof *profile.Profile, k int, opts Options) (*Synthesis, error)
 		}
 	}
 	for _, lst := range []*[]fits.Signature{&syn.BIS, &syn.SIS, &syn.AIS} {
-		sort.Slice(*lst, func(a, b int) bool { return (*lst)[a].String() < (*lst)[b].String() })
+		sort.Slice(*lst, func(a, b int) bool {
+			if sa, sb := (*lst)[a].String(), (*lst)[b].String(); sa != sb {
+				return sa < sb
+			}
+			return (*lst)[a].Key() < (*lst)[b].Key()
+		})
 	}
 	return syn, nil
 }
@@ -315,7 +325,10 @@ func rankedCandidates(stats map[fits.Signature]*sigStats) []fits.Signature {
 		if cands[a].w != cands[b].w {
 			return cands[a].w > cands[b].w
 		}
-		return cands[a].sig.String() < cands[b].sig.String()
+		if sa, sb := cands[a].sig.String(), cands[b].sig.String(); sa != sb {
+			return sa < sb
+		}
+		return cands[a].sig.Key() < cands[b].sig.Key()
 	})
 	out := make([]fits.Signature, len(cands))
 	for i, c := range cands {
