@@ -3,6 +3,14 @@
 # experiment engine. Run from the repository root.
 set -eu
 
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "== go vet =="
 go vet ./...
 
@@ -14,5 +22,13 @@ go test ./...
 
 echo "== go test -race (parallel engine + sim) =="
 go test -race ./internal/sim ./internal/experiments
+
+echo "== benchmark smoke: fetch port stays allocation-free =="
+bench=$(go test -run=NONE -bench=BenchmarkFetchPort -benchtime=10x -benchmem .)
+echo "$bench"
+if ! echo "$bench" | grep -q "BenchmarkFetchPort.* 0 allocs/op"; then
+    echo "ci.sh: BenchmarkFetchPort allocates on the hot path" >&2
+    exit 1
+fi
 
 echo "ci.sh: all checks passed"

@@ -12,6 +12,8 @@
 //	fitsbench -exp ablations  # the four synthesis ablations
 //	fitsbench -scale 1 -q     # quick run, no progress lines
 //	fitsbench -json BENCH_suite.json   # also emit timing/headline JSON
+//	fitsbench -metrics suite.json -phases suite.csv [-window N]
+//	fitsbench -cpuprofile cpu.pprof -memprofile mem.pprof -trace run.trace
 package main
 
 import (
@@ -22,6 +24,8 @@ import (
 	"strings"
 
 	"powerfits/internal/experiments"
+	"powerfits/internal/metrics"
+	"powerfits/internal/sim"
 )
 
 // benchJSON is the -json report: the suite's wall clock, per-kernel
@@ -34,6 +38,63 @@ type benchJSON struct {
 	Kernels   []experiments.KernelTiming `json:"kernels"`
 	Headline  map[string]float64         `json:"headline"`
 	TableAvgs map[string][]float64       `json:"table_averages"`
+}
+
+// stopProfiles flushes any active -cpuprofile/-memprofile/-trace
+// output; fatal routes through it so profiles survive error exits.
+var stopProfiles = func() error { return nil }
+
+func fatal(err error) {
+	_ = stopProfiles()
+	fmt.Fprintln(os.Stderr, "fitsbench:", err)
+	os.Exit(1)
+}
+
+// finish flushes the profiling hooks on the success path.
+func finish() {
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "fitsbench:", err)
+		os.Exit(1)
+	}
+}
+
+// exportSuite writes the -metrics JSON (manifest + merged registry +
+// every kernel×config phase series) and/or the -phases CSV. Runs are
+// ordered by kernel name then sim.Configs order, so the export is
+// deterministic at any parallelism.
+func exportSuite(man *metrics.Manifest, scale int, suite *experiments.Suite,
+	metricsPath, phasesPath string) {
+	man.Scale = scale
+	man.Workers = suite.Workers
+	man.SetCalibration(suite.Cal)
+	blobs := [][]byte{man.Calibration}
+	for _, s := range suite.Setups {
+		blobs = append(blobs, s.Synth.Spec.MarshalConfig())
+	}
+	man.ConfigHash = metrics.HashConfig(blobs...)
+
+	var runs []metrics.RunExport
+	for _, s := range suite.Setups {
+		for _, cfg := range sim.Configs {
+			r := suite.Results[s.Kernel.Name][cfg.Name]
+			runs = append(runs, metrics.RunExport{
+				Kernel: s.Kernel.Name, Config: cfg.Name, Series: r.Phases})
+		}
+	}
+	if metricsPath != "" {
+		man.Finish()
+		exp := &metrics.Export{Manifest: man, Registry: suite.Metrics.Snapshot(), Runs: runs}
+		if err := exp.WriteJSONFile(metricsPath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", metricsPath)
+	}
+	if phasesPath != "" {
+		if err := metrics.WritePhasesCSVFile(phasesPath, runs); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", phasesPath)
+	}
 }
 
 func writeJSON(path string, scale int, suite *experiments.Suite) error {
@@ -61,13 +122,28 @@ func writeJSON(path string, scale int, suite *experiments.Suite) error {
 
 func main() {
 	var (
-		scale    = flag.Int("scale", 0, "workload scale (0 = per-kernel default)")
-		exp      = flag.String("exp", "all", "experiment id: all, figs, fig3..fig14, headline, ablations, ablate-opwidth, ablate-dict, ablate-regs, ablate-mode")
-		quiet    = flag.Bool("q", false, "suppress progress output")
-		jobs     = flag.Int("j", 0, "parallel workers (0 = all cores, 1 = sequential)")
-		jsonPath = flag.String("json", "", "write suite timing and headline averages as JSON to this path")
+		scale       = flag.Int("scale", 0, "workload scale (0 = per-kernel default)")
+		exp         = flag.String("exp", "all", "experiment id: all, figs, fig3..fig14, headline, ablations, ablate-opwidth, ablate-dict, ablate-regs, ablate-mode")
+		quiet       = flag.Bool("q", false, "suppress progress output")
+		jobs        = flag.Int("j", 0, "parallel workers (0 = all cores, 1 = sequential)")
+		jsonPath    = flag.String("json", "", "write suite timing and headline averages as JSON to this path")
+		metricsPath = flag.String("metrics", "", "write manifest + suite registry + phase series as JSON")
+		phasesPath  = flag.String("phases", "", "write every run's phase series as CSV")
+		window      = flag.Int("window", 4096, "phase-sample window in cycles (with -metrics/-phases)")
+		cpuProf     = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
+		memProf     = flag.String("memprofile", "", "write a pprof heap profile to this path")
+		traceOut    = flag.String("trace", "", "write a runtime/trace execution trace to this path")
 	)
 	flag.Parse()
+
+	stop, err := metrics.StartProfiles(metrics.ProfileConfig{
+		CPUProfile: *cpuProf, MemProfile: *memProf, Trace: *traceOut})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fitsbench:", err)
+		os.Exit(1)
+	}
+	stopProfiles = stop
+	defer finish()
 
 	progress := func(line string) { fmt.Fprintln(os.Stderr, line) }
 	if *quiet {
@@ -85,10 +161,15 @@ func main() {
 	}
 
 	if needSuite {
-		suite, err := experiments.RunParallel(*scale, *jobs, progress)
+		man := metrics.NewManifest("fitsbench")
+		var observe sim.ObserveOptions
+		if *metricsPath != "" || *phasesPath != "" {
+			observe.WindowCycles = *window
+		}
+		suite, err := experiments.RunSuite(experiments.Options{
+			Scale: *scale, Workers: *jobs, Progress: progress, Observe: observe})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "fitsbench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "suite generated in %.2fs with %d workers\n",
@@ -101,21 +182,21 @@ func main() {
 		}
 		if *jsonPath != "" {
 			if err := writeJSON(*jsonPath, *scale, suite); err != nil {
-				fmt.Fprintln(os.Stderr, "fitsbench:", err)
-				os.Exit(1)
+				fatal(err)
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 		}
-	} else if *jsonPath != "" {
-		fmt.Fprintln(os.Stderr, "fitsbench: -json requires a suite experiment (not ablations/extensions)")
-		os.Exit(1)
+		if *metricsPath != "" || *phasesPath != "" {
+			exportSuite(man, *scale, suite, *metricsPath, *phasesPath)
+		}
+	} else if *jsonPath != "" || *metricsPath != "" || *phasesPath != "" {
+		fatal(fmt.Errorf("-json/-metrics/-phases require a suite experiment (not ablations/extensions)"))
 	}
 
 	ext := func(f func(int) (*experiments.Table, error)) *experiments.Table {
 		t, err := f(1)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "fitsbench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		return t
 	}
@@ -155,8 +236,7 @@ func main() {
 	}
 
 	if len(tables) == 0 {
-		fmt.Fprintf(os.Stderr, "fitsbench: no experiment matches %q\n", *exp)
-		os.Exit(1)
+		fatal(fmt.Errorf("no experiment matches %q", *exp))
 	}
 	for _, t := range tables {
 		t.Render(os.Stdout)

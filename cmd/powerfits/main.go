@@ -10,12 +10,16 @@
 //	powerfits disasm -kernel crc32 [-fits]
 //	powerfits dump   -kernel crc32           # assembly text (re-assembles with `asm`)
 //	powerfits run    -kernel crc32 [-config FITS8] [-scale N]
+//	                 [-metrics out.json] [-phases out.csv] [-window N]
+//	                 [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace run.trace]
+//	powerfits report -in out.json [-top N]          # render a -metrics export
 //	powerfits asm    -file prog.s [-config FITS8]   # assemble + full flow + run
 //	powerfits sweep  -kernel jpeg [-j N]            # trace-driven cache-size sweep
 //	powerfits config -kernel crc32 > crc32.cfg      # the decoder-configuration image
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +31,7 @@ import (
 	"powerfits/internal/cpu"
 	"powerfits/internal/isa/fits"
 	"powerfits/internal/kernels"
+	"powerfits/internal/metrics"
 	"powerfits/internal/power"
 	"powerfits/internal/program"
 	"powerfits/internal/sim"
@@ -35,34 +40,68 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: powerfits <list|info|isa|disasm|dump|run|asm|sweep|config> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: powerfits <list|info|isa|disasm|dump|run|report|asm|sweep|config> [flags]")
 	os.Exit(2)
 }
+
+// stopProfiles flushes any active -cpuprofile/-memprofile/-trace
+// output; fatal routes through it so profiles survive error exits.
+var stopProfiles = func() error { return nil }
 
 func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
 	cmd := os.Args[1]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	kernel := fs.String("kernel", "crc32", "benchmark name (see `powerfits list`)")
 	scale := fs.Int("scale", 1, "workload scale (0 = kernel default)")
 	cfgName := fs.String("config", "FITS8", "configuration: ARM16, ARM8, FITS16, FITS8")
 	fitsSide := fs.Bool("fits", false, "disassemble the FITS translation instead of ARM")
 	file := fs.String("file", "", "assembly source file (asm command)")
 	jobs := fs.Int("j", 0, "parallel workers for sweep (0 = all cores, 1 = sequential)")
-	_ = fs.Parse(os.Args[2:])
+	metricsPath := fs.String("metrics", "", "write manifest + registry + phase series as JSON (run command)")
+	phasesPath := fs.String("phases", "", "write the per-window phase series as CSV (run command)")
+	window := fs.Int("window", 4096, "phase-sample window in cycles (run command)")
+	topN := fs.Int("top", 10, "hotspot rows to render (report command)")
+	inPath := fs.String("in", "", "metrics JSON to render (report command)")
+	cpuProf := fs.String("cpuprofile", "", "write a pprof CPU profile to this path")
+	memProf := fs.String("memprofile", "", "write a pprof heap profile to this path")
+	traceOut := fs.String("trace", "", "write a runtime/trace execution trace to this path")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		// flag has already printed the error (or the -h help text) and
+		// the defaults; exit rather than run with a half-parsed line.
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		os.Exit(2)
+	}
 
-	if cmd == "list" {
+	stop, err := metrics.StartProfiles(metrics.ProfileConfig{
+		CPUProfile: *cpuProf, MemProfile: *memProf, Trace: *traceOut})
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = stop
+
+	switch cmd {
+	case "list":
 		fmt.Printf("%-18s %-12s %s\n", "kernel", "group", "default scale")
 		for _, k := range kernels.All() {
 			fmt.Printf("%-18s %-12s %d\n", k.Name, k.Group, k.DefaultScale)
 		}
+		finish()
+		return
+	case "report":
+		if *inPath == "" {
+			fatal(fmt.Errorf("report requires -in metrics.json"))
+		}
+		report(*inPath, *topN)
+		finish()
 		return
 	}
 
 	var s *sim.Setup
-	var err error
 	if cmd == "asm" {
 		if *file == "" {
 			fatal(fmt.Errorf("asm requires -file"))
@@ -97,11 +136,11 @@ func main() {
 	case "dump":
 		fmt.Print(asm.Format(s.Prog))
 	case "run":
-		run(s, *cfgName)
+		run(s, *cfgName, runOutputs{Metrics: *metricsPath, Phases: *phasesPath, Window: *window})
 	case "asm":
 		info(s)
 		fmt.Println()
-		run(s, *cfgName)
+		run(s, *cfgName, runOutputs{Metrics: *metricsPath, Phases: *phasesPath, Window: *window})
 	case "sweep":
 		sweep(s, *jobs)
 	case "config":
@@ -112,6 +151,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "powerfits: wrote %d bytes of decoder configuration\n", len(blob))
 	default:
 		usage()
+	}
+	finish()
+}
+
+// finish flushes the profiling hooks on the success path.
+func finish() {
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "powerfits:", err)
+		os.Exit(1)
 	}
 }
 
@@ -201,6 +249,9 @@ func userKernel(p *program.Program) kernels.Kernel {
 }
 
 func fatal(err error) {
+	if perr := stopProfiles(); perr != nil {
+		fmt.Fprintln(os.Stderr, "powerfits:", perr)
+	}
 	fmt.Fprintln(os.Stderr, "powerfits:", err)
 	os.Exit(1)
 }
@@ -297,7 +348,14 @@ func disasm(s *sim.Setup, fitsSide bool) {
 	}
 }
 
-func run(s *sim.Setup, cfgName string) {
+// runOutputs carries the run command's export requests.
+type runOutputs struct {
+	Metrics string // -metrics: JSON export path
+	Phases  string // -phases: CSV phase-series path
+	Window  int    // -window: sample window in cycles
+}
+
+func run(s *sim.Setup, cfgName string, out runOutputs) {
 	var cfg sim.Config
 	found := false
 	for _, c := range sim.Configs {
@@ -309,9 +367,18 @@ func run(s *sim.Setup, cfgName string) {
 	if !found {
 		fatal(fmt.Errorf("unknown config %q (want ARM16, ARM8, FITS16, FITS8)", cfgName))
 	}
-	r, err := s.Run(cfg, power.DefaultCalibration())
+	man := metrics.NewManifest("powerfits")
+	cal := power.DefaultCalibration()
+	var opt sim.ObserveOptions
+	if out.Metrics != "" || out.Phases != "" {
+		opt.WindowCycles = out.Window
+	}
+	r, err := s.RunObserved(cfg, cal, opt)
 	if err != nil {
 		fatal(err)
+	}
+	if out.Metrics != "" || out.Phases != "" {
+		exportRun(s, cfg, cal, r, man, out)
 	}
 	sw, in, lk := r.Power.Share()
 	fmt.Printf("config          %s (%s ISA, %d KB I-cache)\n", cfg.Name, cfg.ISA, cfg.Cache.SizeBytes/1024)
@@ -324,4 +391,125 @@ func run(s *sim.Setup, cfgName string) {
 		r.Power.TotalPJ()/1e6, 100*sw, 100*in, 100*lk)
 	fmt.Printf("average power   %.2f mW; peak %.2f mW\n", 1e3*r.Power.AvgPowerW(), 1e3*r.Power.PeakPowerW)
 	fmt.Printf("output          %#x\n", r.Pipe.Output)
+}
+
+// exportRun writes the -metrics JSON and/or -phases CSV for one run.
+func exportRun(s *sim.Setup, cfg sim.Config, cal power.Calibration, r *sim.Result,
+	man *metrics.Manifest, out runOutputs) {
+	man.Kernel, man.Scale, man.Config = s.Kernel.Name, s.Scale, cfg.Name
+	man.ISAPoint = fmt.Sprintf("k=%d, %d/%d opcode points, %d dictionary entries",
+		s.Synth.K, s.Synth.Spec.UsedPoints(), 1<<s.Synth.K, s.Synth.DictEntries)
+	man.SetCalibration(cal)
+	man.ConfigHash = metrics.HashConfig(s.Synth.Spec.MarshalConfig(), man.Calibration)
+
+	reg := metrics.NewRegistry()
+	sc := reg.Scope("run", s.Kernel.Name, cfg.Name)
+	sc.Counter("cycles").Add(r.Pipe.Cycles)
+	sc.Counter("instrs").Add(r.Pipe.Instrs)
+	sc.Counter("fetches").Add(r.Cache.Accesses)
+	sc.Counter("misses").Add(r.Cache.Misses)
+	sc.Counter("branches").Add(r.Pipe.Branches)
+	sc.Counter("mispredicts").Add(r.Pipe.Mispredicts)
+	sc.Gauge("switching_pj").Set(r.Power.SwitchingPJ)
+	sc.Gauge("internal_pj").Set(r.Power.InternalPJ)
+	sc.Gauge("leakage_pj").Set(r.Power.LeakagePJ)
+	sc.Gauge("total_pj").Set(r.Power.TotalPJ())
+	sc.Gauge("avg_power_w").Set(r.Power.AvgPowerW())
+	sc.Gauge("peak_power_w").Set(r.Power.PeakPowerW)
+	sc.Gauge("ipc").Set(r.Pipe.IPC())
+	sc.Gauge("miss_per_million").Set(r.Cache.MissesPerMillion())
+
+	runs := []metrics.RunExport{{Kernel: s.Kernel.Name, Config: cfg.Name, Series: r.Phases}}
+	if out.Metrics != "" {
+		man.Finish()
+		exp := &metrics.Export{Manifest: man, Registry: reg.Snapshot(), Runs: runs}
+		if err := exp.WriteJSONFile(out.Metrics); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "powerfits: wrote metrics to %s\n", out.Metrics)
+	}
+	if out.Phases != "" {
+		if err := metrics.WritePhasesCSVFile(out.Phases, runs); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "powerfits: wrote phase series to %s\n", out.Phases)
+	}
+}
+
+// report renders a -metrics JSON export: manifest, registry, phase
+// tables and the top-N fetch-energy hotspots.
+func report(path string, topN int) {
+	exp, err := metrics.ReadExportFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	if m := exp.Manifest; m != nil {
+		fmt.Printf("manifest\n")
+		fmt.Printf("  tool         %s %s\n", m.Tool, strings.Join(m.Args, " "))
+		if m.Kernel != "" {
+			fmt.Printf("  kernel       %s (scale %d), config %s\n", m.Kernel, m.Scale, m.Config)
+		}
+		if m.ISAPoint != "" {
+			fmt.Printf("  isa point    %s\n", m.ISAPoint)
+		}
+		if m.ConfigHash != "" {
+			fmt.Printf("  config hash  %s\n", m.ConfigHash)
+		}
+		if m.GitDescribe != "" {
+			fmt.Printf("  source       %s, %s\n", m.GitDescribe, m.GoVersion)
+		} else {
+			fmt.Printf("  source       %s\n", m.GoVersion)
+		}
+		if m.Workers > 0 {
+			fmt.Printf("  workers      %d\n", m.Workers)
+		}
+		fmt.Printf("  time         started %s, wall %.3fs, cpu %.3fs\n", m.StartedAt, m.WallSec, m.CPUSec)
+	}
+	if len(exp.Registry.Counters) > 0 || len(exp.Registry.Gauges) > 0 {
+		fmt.Printf("\nregistry\n")
+		for _, c := range exp.Registry.Counters {
+			fmt.Printf("  %-44s %20d\n", c.Name, c.Value)
+		}
+		for _, g := range exp.Registry.Gauges {
+			fmt.Printf("  %-44s %20.4f\n", g.Name, g.Value)
+		}
+		for _, h := range exp.Registry.Histograms {
+			mean := 0.0
+			if h.Count > 0 {
+				mean = h.Sum / float64(h.Count)
+			}
+			fmt.Printf("  %-44s %11d obs, mean %.4f\n", h.Name, h.Count, mean)
+		}
+	}
+	for _, run := range exp.Runs {
+		if run.Series == nil || len(run.Series.Samples) == 0 {
+			continue
+		}
+		fmt.Printf("\nphases: %s on %s (%d-cycle windows)\n", run.Kernel, run.Config, run.Series.WindowCycles)
+		fmt.Printf("%12s %8s %8s %8s %10s %12s %12s %12s %7s\n",
+			"end_cycle", "cycles", "fetches", "misses", "miss/K", "switch_pJ", "internal_pJ", "leak_pJ", "IPC")
+		for _, w := range run.Series.Samples {
+			fmt.Printf("%12d %8d %8d %8d %10.2f %12.1f %12.1f %12.1f %7.3f\n",
+				w.EndCycle, w.Cycles, w.Fetches, w.Misses, 1e3*w.MissRate(),
+				w.SwitchPJ, w.InternalPJ, w.LeakPJ, w.IPC())
+		}
+		if len(run.Series.Hotspots) > 0 {
+			total := run.Series.TotalFetchPJ()
+			fmt.Printf("\nfetch-energy hotspots: %s on %s (top %d of %d PC buckets)\n",
+				run.Kernel, run.Config, len(run.Series.TopHotspots(topN)), len(run.Series.Hotspots))
+			fmt.Printf("%4s %-21s %10s %8s %14s %7s\n", "#", "pc range", "fetches", "misses", "fetch_pJ", "share")
+			for i, h := range run.Series.TopHotspots(topN) {
+				rng := fmt.Sprintf("%08x-%08x", h.StartAddr, h.EndAddr)
+				if h.StartAddr == 0 && h.EndAddr == 0 {
+					rng = "(outside text)"
+				}
+				share := 0.0
+				if total > 0 {
+					share = 100 * h.FetchPJ / total
+				}
+				fmt.Printf("%4d %-21s %10d %8d %14.1f %6.1f%%\n",
+					i+1, rng, h.Fetches, h.Misses, h.FetchPJ, share)
+			}
+		}
+	}
 }

@@ -12,6 +12,9 @@
 //     fetch port aliases Image.Text without copying.
 //   - cache.Cache and power.Meter are single-owner (one per run) and
 //     are never shared across goroutines here.
+//   - each kernel job records its timing into a private
+//     metrics.Registry, merged into Suite.Metrics after the barrier in
+//     deterministic kernel order.
 package experiments
 
 import (
@@ -22,6 +25,7 @@ import (
 	"time"
 
 	"powerfits/internal/kernels"
+	"powerfits/internal/metrics"
 	"powerfits/internal/power"
 	"powerfits/internal/sim"
 	"powerfits/internal/synth"
@@ -29,25 +33,32 @@ import (
 
 // KernelTiming records the wall-clock cost of one kernel: preparation
 // (build, profile, synthesis, translation, Thumb sizing) and the timing
-// runs summed over the four configurations.
+// runs summed over the four configurations, plus the worker slot the
+// preparation ran on.
 type KernelTiming struct {
 	Kernel     string  `json:"kernel"`
 	PrepareSec float64 `json:"prepare_sec"`
 	RunSec     float64 `json:"run_sec"`
+	Worker     int     `json:"worker"`
 }
 
 // engine is the bounded worker pool shared by every job of one suite
-// generation. Jobs acquire a slot before running; the first error
-// cancels all jobs that have not yet started (in-flight jobs finish).
+// generation. Jobs acquire a numbered slot before running; the first
+// error cancels all jobs that have not yet started (in-flight jobs
+// finish).
 type engine struct {
-	sem  chan struct{}
+	ids  chan int
 	done chan struct{}
 	once sync.Once
 	err  error
 }
 
 func newEngine(workers int) *engine {
-	return &engine{sem: make(chan struct{}, workers), done: make(chan struct{})}
+	e := &engine{ids: make(chan int, workers), done: make(chan struct{})}
+	for i := 0; i < workers; i++ {
+		e.ids <- i
+	}
+	return e
 }
 
 // fail records the first error and cancels outstanding work.
@@ -58,34 +69,55 @@ func (e *engine) fail(err error) {
 	})
 }
 
-// acquire blocks until a worker slot is free; it returns false when the
-// engine has been cancelled, in which case the job must not run.
-func (e *engine) acquire() bool {
+// acquire blocks until a worker slot is free and returns its id; ok is
+// false when the engine has been cancelled, in which case the job must
+// not run.
+func (e *engine) acquire() (id int, ok bool) {
 	select {
 	case <-e.done:
-		return false
-	case e.sem <- struct{}{}:
+		return 0, false
+	case id = <-e.ids:
 	}
 	select {
 	case <-e.done:
-		<-e.sem
-		return false
+		e.ids <- id
+		return 0, false
 	default:
-		return true
+		return id, true
 	}
 }
 
-func (e *engine) release() { <-e.sem }
+func (e *engine) release(id int) { e.ids <- id }
+
+// Options parameterises one suite generation.
+type Options struct {
+	// Scale is the workload scale (≤ 0 = per-kernel default).
+	Scale int
+	// Workers bounds the pool (≤ 0 = runtime.GOMAXPROCS(0); 1 =
+	// sequential).
+	Workers int
+	// Progress, when non-nil, receives one line per completed kernel
+	// from a single goroutine, in completion order.
+	Progress func(string)
+	// Observe, when enabled, runs every kernel × configuration
+	// simulation with phase sampling attached; the per-run
+	// metrics.Series lands on each sim.Result.
+	Observe sim.ObserveOptions
+}
 
 // RunParallel is Run with an explicit degree of parallelism.
 // workers ≤ 0 selects runtime.GOMAXPROCS(0); workers == 1 reproduces
 // the sequential engine. Whatever the parallelism, the resulting Suite
 // renders byte-identical tables: results are keyed by kernel and
 // configuration name and Setups are sorted by kernel name, just as the
-// sequential loop produced them. The progress callback is invoked from
-// a single drainer goroutine (never concurrently), one line per
-// completed kernel, in completion order.
+// sequential loop produced them.
 func RunParallel(scale, workers int, progress func(string)) (*Suite, error) {
+	return RunSuite(Options{Scale: scale, Workers: workers, Progress: progress})
+}
+
+// RunSuite generates the full suite under the given options.
+func RunSuite(opt Options) (*Suite, error) {
+	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -96,18 +128,19 @@ func RunParallel(scale, workers int, progress func(string)) (*Suite, error) {
 		Cal:     power.DefaultCalibration(),
 		Chip:    power.DefaultChipModel(),
 		Workers: workers,
+		Metrics: metrics.NewRegistry(),
 	}
 
 	// One drainer goroutine serializes the progress callback.
 	var progCh chan string
 	var progWG sync.WaitGroup
-	if progress != nil {
+	if opt.Progress != nil {
 		progCh = make(chan string, len(ks))
 		progWG.Add(1)
 		go func() {
 			defer progWG.Done()
 			for line := range progCh {
-				progress(line)
+				opt.Progress(line)
 			}
 		}()
 	}
@@ -117,6 +150,7 @@ func RunParallel(scale, workers int, progress func(string)) (*Suite, error) {
 		setup   *sim.Setup
 		results []*sim.Result // indexed as sim.Configs
 		timing  KernelTiming
+		reg     *metrics.Registry
 	}
 	runs := make([]kernelRun, len(ks))
 
@@ -127,18 +161,26 @@ func RunParallel(scale, workers int, progress func(string)) (*Suite, error) {
 		go func(kr *kernelRun, k kernels.Kernel) {
 			defer wg.Done()
 			kr.timing.Kernel = k.Name
-			if !eng.acquire() {
+			kr.reg = metrics.NewRegistry()
+			kscope := kr.reg.Scope("kernel", k.Name)
+			worker, ok := eng.acquire()
+			if !ok {
 				return
 			}
 			t0 := time.Now()
-			setup, err := sim.Prepare(k, scale, synth.DefaultOptions())
+			setup, err := sim.Prepare(k, opt.Scale, synth.DefaultOptions())
 			kr.timing.PrepareSec = time.Since(t0).Seconds()
-			eng.release()
+			kr.timing.Worker = worker
+			eng.release(worker)
 			if err != nil {
 				eng.fail(err)
 				return
 			}
 			kr.setup = setup
+			kscope.Gauge("prepare_sec").Set(kr.timing.PrepareSec)
+			kscope.Gauge("worker").Set(float64(worker))
+			kr.reg.Histogram("engine/prepare_sec", metrics.DurationBuckets).
+				Observe(kr.timing.PrepareSec)
 
 			// Fan out the four configuration runs as independent jobs.
 			kr.results = make([]*sim.Result, len(sim.Configs))
@@ -148,13 +190,14 @@ func RunParallel(scale, workers int, progress func(string)) (*Suite, error) {
 				cwg.Add(1)
 				go func(ci int, cfg sim.Config) {
 					defer cwg.Done()
-					if !eng.acquire() {
+					worker, ok := eng.acquire()
+					if !ok {
 						return
 					}
 					t0 := time.Now()
-					r, err := setup.Run(cfg, s.Cal)
+					r, err := setup.RunObserved(cfg, s.Cal, opt.Observe)
 					runSec[ci] = time.Since(t0).Seconds()
-					eng.release()
+					eng.release(worker)
 					if err != nil {
 						eng.fail(err)
 						return
@@ -163,14 +206,17 @@ func RunParallel(scale, workers int, progress func(string)) (*Suite, error) {
 				}(ci, cfg)
 			}
 			cwg.Wait()
-			for _, sec := range runSec {
+			for ci, sec := range runSec {
 				kr.timing.RunSec += sec
+				kscope.Scope(sim.Configs[ci].Name).Gauge("run_sec").Set(sec)
+				kr.reg.Histogram("engine/run_sec", metrics.DurationBuckets).Observe(sec)
 			}
 			for _, r := range kr.results {
 				if r == nil {
 					return // cancelled mid-kernel
 				}
 			}
+			kr.reg.Counter("engine/kernels_done").Inc()
 			if progCh != nil {
 				// sim.Configs[0] is ARM16, matching the sequential line.
 				progCh <- fmt.Sprintf("%-16s done (%d dynamic instrs on ARM16)",
@@ -196,6 +242,9 @@ func RunParallel(scale, workers int, progress func(string)) (*Suite, error) {
 		s.Setups = append(s.Setups, kr.setup)
 		s.Results[kr.setup.Kernel.Name] = res
 		s.Timings = append(s.Timings, kr.timing)
+		if err := s.Metrics.Merge(kr.reg); err != nil {
+			return nil, err
+		}
 	}
 	sort.Slice(s.Setups, func(a, b int) bool {
 		return s.Setups[a].Kernel.Name < s.Setups[b].Kernel.Name
@@ -204,5 +253,7 @@ func RunParallel(scale, workers int, progress func(string)) (*Suite, error) {
 		return s.Timings[a].Kernel < s.Timings[b].Kernel
 	})
 	s.WallSec = time.Since(start).Seconds()
+	s.Metrics.Gauge("engine/wall_sec").Set(s.WallSec)
+	s.Metrics.Gauge("engine/workers").Set(float64(workers))
 	return s, nil
 }

@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"powerfits/internal/kernels"
+	"powerfits/internal/metrics"
+	"powerfits/internal/sim"
 )
 
 // renderAll renders every figure table of a suite into one string.
@@ -55,6 +57,11 @@ func TestParallelMatchesSequential(t *testing.T) {
 	if len(par.Timings) != len(kernels.All()) {
 		t.Errorf("timings cover %d kernels, want %d", len(par.Timings), len(kernels.All()))
 	}
+	for _, tm := range par.Timings {
+		if tm.Worker < 0 || tm.Worker >= 8 {
+			t.Errorf("%s prepared on worker %d, want 0..7", tm.Kernel, tm.Worker)
+		}
+	}
 
 	a, b := renderAll(seq), renderAll(par)
 	if a != b {
@@ -65,5 +72,74 @@ func TestParallelMatchesSequential(t *testing.T) {
 			}
 		}
 		t.Fatalf("parallel output is a strict prefix of sequential output")
+	}
+}
+
+// TestSuiteMetricsRegistry asserts the engine publishes per-kernel
+// timing through the merged run-wide registry: every kernel's prepare
+// gauge and per-config run gauges are present, and the engine
+// histograms account for every job.
+func TestSuiteMetricsRegistry(t *testing.T) {
+	suite, err := RunSuite(Options{Scale: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suite.Metrics == nil {
+		t.Fatal("suite has no metrics registry")
+	}
+	snap := suite.Metrics.Snapshot()
+	gauges := make(map[string]float64, len(snap.Gauges))
+	for _, g := range snap.Gauges {
+		gauges[g.Name] = g.Value
+	}
+	for _, k := range kernels.All() {
+		if _, ok := gauges["kernel/"+k.Name+"/prepare_sec"]; !ok {
+			t.Errorf("registry missing kernel/%s/prepare_sec", k.Name)
+		}
+		for _, cfg := range sim.Configs {
+			if _, ok := gauges["kernel/"+k.Name+"/"+cfg.Name+"/run_sec"]; !ok {
+				t.Errorf("registry missing kernel/%s/%s/run_sec", k.Name, cfg.Name)
+			}
+		}
+		if w := gauges["kernel/"+k.Name+"/worker"]; w < 0 || w > 3 {
+			t.Errorf("kernel/%s/worker = %v, want 0..3", k.Name, w)
+		}
+	}
+	nk := uint64(len(kernels.All()))
+	if got := suite.Metrics.Counter("engine/kernels_done").Value(); got != nk {
+		t.Errorf("engine/kernels_done = %d, want %d", got, nk)
+	}
+	if got := suite.Metrics.Histogram("engine/prepare_sec", metrics.DurationBuckets).Count(); got != nk {
+		t.Errorf("engine/prepare_sec observations = %d, want %d", got, nk)
+	}
+	if got := suite.Metrics.Histogram("engine/run_sec", metrics.DurationBuckets).Count(); got != nk*uint64(len(sim.Configs)) {
+		t.Errorf("engine/run_sec observations = %d, want %d", got, nk*uint64(len(sim.Configs)))
+	}
+	if gauges["engine/workers"] != 4 {
+		t.Errorf("engine/workers = %v, want 4", gauges["engine/workers"])
+	}
+}
+
+// TestSuiteObserved asserts the Observe option threads phase sampling
+// through every run without disturbing the aggregate tables.
+func TestSuiteObserved(t *testing.T) {
+	plain, err := RunSuite(Options{Scale: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := RunSuite(Options{Scale: 1, Workers: 4,
+		Observe: sim.ObserveOptions{WindowCycles: 2048}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, byCfg := range obs.Results {
+		for cfg, r := range byCfg {
+			if r.Phases == nil || len(r.Phases.Samples) == 0 {
+				t.Fatalf("%s/%s: observed suite run has no phase series", name, cfg)
+			}
+		}
+	}
+	if a, b := renderAll(plain), renderAll(obs); a != b {
+		t.Fatal("observation changed the rendered tables")
 	}
 }

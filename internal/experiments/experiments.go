@@ -11,6 +11,7 @@ import (
 	"io"
 	"strings"
 
+	"powerfits/internal/metrics"
 	"powerfits/internal/power"
 	"powerfits/internal/sim"
 )
@@ -105,6 +106,10 @@ type Suite struct {
 	WallSec float64
 	// Timings records per-kernel prepare/run costs, sorted by kernel.
 	Timings []KernelTiming
+	// Metrics is the run-wide registry: per-kernel prepare/run gauges
+	// and engine histograms, merged from the worker pool in
+	// deterministic kernel order (nil for hand-built suites).
+	Metrics *metrics.Registry
 }
 
 // Run prepares and simulates the whole benchmark suite on all available

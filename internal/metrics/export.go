@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// RunExport is the phase series of one kernel × configuration run
+// inside an Export.
+type RunExport struct {
+	Kernel string  `json:"kernel"`
+	Config string  `json:"config"`
+	Series *Series `json:"series,omitempty"`
+}
+
+// Export is the portable JSON document behind `-metrics out.json`:
+// a manifest attributing the run, a full registry snapshot, and the
+// phase-resolved series of every observed run. `powerfits report`
+// renders it back.
+type Export struct {
+	Manifest *Manifest   `json:"manifest"`
+	Registry Snapshot    `json:"registry"`
+	Runs     []RunExport `json:"runs,omitempty"`
+}
+
+// WriteJSON writes the export as indented JSON.
+func (e *Export) WriteJSON(w io.Writer) error {
+	blob, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(blob, '\n'))
+	return err
+}
+
+// WriteJSONFile writes the export to path.
+func (e *Export) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := e.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadExport decodes an export document.
+func ReadExport(r io.Reader) (*Export, error) {
+	var e Export
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&e); err != nil {
+		return nil, fmt.Errorf("metrics: decoding export: %w", err)
+	}
+	return &e, nil
+}
+
+// ReadExportFile reads and decodes an export document from path.
+func ReadExportFile(path string) (*Export, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadExport(f)
+}
+
+// phaseCSVHeader is the column layout of WritePhasesCSV.
+const phaseCSVHeader = "kernel,config,end_cycle,cycles,fetches,misses,switch_pj,internal_pj,leak_pj,instrs,ipc\n"
+
+// WritePhasesCSV writes the phase series of the given runs as one flat
+// CSV (`-phases out.csv`), rows in the order given — callers pass runs
+// in deterministic (sorted) order.
+func WritePhasesCSV(w io.Writer, runs []RunExport) error {
+	if _, err := io.WriteString(w, phaseCSVHeader); err != nil {
+		return err
+	}
+	for _, run := range runs {
+		if run.Series == nil {
+			continue
+		}
+		for _, s := range run.Series.Samples {
+			_, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%.6g,%.6g,%.6g,%d,%.4f\n",
+				run.Kernel, run.Config, s.EndCycle, s.Cycles, s.Fetches, s.Misses,
+				s.SwitchPJ, s.InternalPJ, s.LeakPJ, s.Instrs, s.IPC())
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WritePhasesCSVFile writes the phase CSV to path.
+func WritePhasesCSVFile(path string, runs []RunExport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WritePhasesCSV(f, runs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

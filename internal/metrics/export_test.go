@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func demoExport() *Export {
+	r := NewRegistry()
+	r.Counter("run/crc32/FITS8/cycles").Add(100)
+	r.Gauge("run/crc32/FITS8/ipc").Set(1.5)
+	m := NewManifest("powerfits")
+	m.Kernel, m.Config, m.Scale = "crc32", "FITS8", 1
+	m.ConfigHash = HashConfig([]byte("decoder"), []byte("cal"))
+	m.SetCalibration(map[string]float64{"switch_pj_per_bit": 7.5})
+	m.Finish()
+	return &Export{
+		Manifest: m,
+		Registry: r.Snapshot(),
+		Runs: []RunExport{{
+			Kernel: "crc32", Config: "FITS8",
+			Series: &Series{
+				WindowCycles: 4,
+				Samples: []WindowSample{
+					{EndCycle: 4, Cycles: 4, Fetches: 3, Misses: 1, SwitchPJ: 40, InternalPJ: 20, LeakPJ: 4, Instrs: 8},
+					{EndCycle: 8, Cycles: 4, Fetches: 4, SwitchPJ: 10, InternalPJ: 20, LeakPJ: 4, Instrs: 6},
+				},
+				Hotspots: []Hotspot{{StartAddr: 0x1000, EndAddr: 0x1040, Fetches: 7, Misses: 1, FetchPJ: 50}},
+			},
+		}},
+	}
+}
+
+func TestExportRoundTrip(t *testing.T) {
+	e := demoExport()
+	var buf bytes.Buffer
+	if err := e.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadExport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Manifest.Kernel != "crc32" || got.Manifest.Tool != "powerfits" {
+		t.Errorf("manifest lost: %+v", got.Manifest)
+	}
+	if len(got.Manifest.ConfigHash) != 64 {
+		t.Errorf("config hash %q is not hex sha256", got.Manifest.ConfigHash)
+	}
+	if len(got.Registry.Counters) != 1 || got.Registry.Counters[0].Value != 100 {
+		t.Errorf("registry lost: %+v", got.Registry)
+	}
+	if len(got.Runs) != 1 || got.Runs[0].Series == nil ||
+		len(got.Runs[0].Series.Samples) != 2 ||
+		got.Runs[0].Series.Samples[0].SwitchPJ != 40 {
+		t.Errorf("series lost: %+v", got.Runs)
+	}
+	if got.Runs[0].Series.Hotspots[0].FetchPJ != 50 {
+		t.Errorf("hotspots lost: %+v", got.Runs[0].Series.Hotspots)
+	}
+}
+
+func TestPhasesCSV(t *testing.T) {
+	e := demoExport()
+	var buf bytes.Buffer
+	if err := WritePhasesCSV(&buf, e.Runs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want header + 2 samples:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "kernel,config,end_cycle") {
+		t.Errorf("bad header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "crc32,FITS8,4,4,3,1,40,") {
+		t.Errorf("bad first row %q", lines[1])
+	}
+}
+
+func TestManifestTiming(t *testing.T) {
+	m := NewManifest("test")
+	m.Finish()
+	if m.WallSec < 0 || m.CPUSec < 0 {
+		t.Errorf("negative timing: wall %v cpu %v", m.WallSec, m.CPUSec)
+	}
+	if m.GoVersion == "" || m.StartedAt == "" {
+		t.Errorf("manifest missing go version or start time: %+v", m)
+	}
+}

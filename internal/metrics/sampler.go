@@ -1,0 +1,255 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Observer receives the raw events of one timing run. The simulator's
+// fetch port calls OnFetch once per I-cache access (after the access
+// has been charged to the power meter) and OnCycle once per pipeline
+// cycle. Both methods sit on the simulation hot path: implementations
+// must not allocate per event, and a nil observer must cost only the
+// guard branch (the overhead contract asserted by BenchmarkFetchPort).
+type Observer interface {
+	// OnFetch reports one I-cache access at addr and whether it missed.
+	OnFetch(addr uint32, miss bool)
+	// OnCycle reports the end of one pipeline cycle.
+	OnCycle()
+}
+
+// EnergySource exposes a power model's cumulative energy counters.
+// power.Meter implements it.
+type EnergySource interface {
+	// EnergyPJ returns cumulative switching, internal and leakage
+	// energy in picojoules.
+	EnergyPJ() (switchPJ, internalPJ, leakPJ float64)
+	// LastAccessPJ returns the energy charged by the most recent
+	// access (switching plus any line-fill), for PC attribution.
+	LastAccessPJ() float64
+}
+
+// AccessSource exposes a cache's cumulative access counters.
+// cache.Cache implements it.
+type AccessSource interface {
+	AccessCounts() (accesses, misses uint64)
+}
+
+// WindowSample is one completed sample window of a phase series.
+type WindowSample struct {
+	// EndCycle is the cycle count at the window's close.
+	EndCycle uint64 `json:"end_cycle"`
+	// Cycles is the window length (the final window may be partial).
+	Cycles     uint64  `json:"cycles"`
+	Fetches    uint64  `json:"fetches"`
+	Misses     uint64  `json:"misses"`
+	SwitchPJ   float64 `json:"switch_pj"`
+	InternalPJ float64 `json:"internal_pj"`
+	LeakPJ     float64 `json:"leak_pj"`
+	Instrs     uint64  `json:"instrs"`
+}
+
+// TotalPJ returns the window's total cache energy.
+func (w WindowSample) TotalPJ() float64 { return w.SwitchPJ + w.InternalPJ + w.LeakPJ }
+
+// IPC returns the window's instructions per cycle.
+func (w WindowSample) IPC() float64 {
+	if w.Cycles == 0 {
+		return 0
+	}
+	return float64(w.Instrs) / float64(w.Cycles)
+}
+
+// MissRate returns the window's misses per access.
+func (w WindowSample) MissRate() float64 {
+	if w.Fetches == 0 {
+		return 0
+	}
+	return float64(w.Misses) / float64(w.Fetches)
+}
+
+// Hotspot is one PC-range bucket of the fetch-energy attribution map.
+type Hotspot struct {
+	StartAddr uint32  `json:"start_addr"`
+	EndAddr   uint32  `json:"end_addr"`
+	Fetches   uint64  `json:"fetches"`
+	Misses    uint64  `json:"misses"`
+	FetchPJ   float64 `json:"fetch_pj"`
+}
+
+// Series is the phase-resolved outcome of one observed run.
+type Series struct {
+	// WindowCycles is the nominal sample window length.
+	WindowCycles int `json:"window_cycles"`
+	// Samples are the completed windows in time order.
+	Samples []WindowSample `json:"samples"`
+	// Hotspots are the non-empty PC-attribution buckets sorted by
+	// descending fetch energy.
+	Hotspots []Hotspot `json:"hotspots,omitempty"`
+}
+
+// TotalFetchPJ returns the fetch energy summed over every hotspot
+// bucket (switching plus line fills for the whole run).
+func (s *Series) TotalFetchPJ() float64 {
+	var t float64
+	for _, h := range s.Hotspots {
+		t += h.FetchPJ
+	}
+	return t
+}
+
+// TopHotspots returns the n hottest buckets (all of them when n ≤ 0 or
+// exceeds the bucket count).
+func (s *Series) TopHotspots(n int) []Hotspot {
+	if n <= 0 || n > len(s.Hotspots) {
+		n = len(s.Hotspots)
+	}
+	return s.Hotspots[:n]
+}
+
+// SamplerConfig wires a Sampler to one run's components.
+type SamplerConfig struct {
+	// WindowCycles is the sample window length in pipeline cycles.
+	WindowCycles int
+	// Energy is the run's power model (required).
+	Energy EnergySource
+	// Access is the run's cache (required).
+	Access AccessSource
+	// Instrs, when non-nil, returns the cumulative retired-instruction
+	// count (for per-window IPC).
+	Instrs func() uint64
+	// AttribBase and AttribBytes bound the PC range attributed to
+	// buckets (the text segment); fetches outside land in a catch-all
+	// bucket. AttribBytes ≤ 0 disables attribution.
+	AttribBase  uint32
+	AttribBytes int
+	// AttribBucketBytes is the attribution granularity (default 64).
+	AttribBucketBytes int
+}
+
+// Sampler implements Observer by recording a cycle-windowed time
+// series of fetch, miss, energy and IPC deltas plus a PC-bucketed
+// fetch-energy attribution map. All per-event state is preallocated at
+// construction; only the sample slice grows (amortised, off the
+// per-event path).
+type Sampler struct {
+	cfg    SamplerConfig
+	bucket int
+
+	cycles  uint64
+	inWin   uint64
+	samples []WindowSample
+
+	// Cumulative values at the last window boundary.
+	lastSw, lastIn, lastLk float64
+	lastAcc, lastMiss      uint64
+	lastInstr              uint64
+
+	// PC attribution; index len(fetchPJ)-1 is the out-of-range bucket.
+	fetchPJ []float64
+	fetches []uint64
+	misses  []uint64
+}
+
+// NewSampler builds a sampler for one run.
+func NewSampler(cfg SamplerConfig) (*Sampler, error) {
+	if cfg.WindowCycles <= 0 {
+		return nil, fmt.Errorf("metrics: non-positive sample window %d", cfg.WindowCycles)
+	}
+	if cfg.Energy == nil || cfg.Access == nil {
+		return nil, fmt.Errorf("metrics: sampler requires energy and access sources")
+	}
+	s := &Sampler{cfg: cfg, bucket: cfg.AttribBucketBytes}
+	if s.bucket <= 0 {
+		s.bucket = 64
+	}
+	if cfg.AttribBytes > 0 {
+		n := (cfg.AttribBytes+s.bucket-1)/s.bucket + 1 // +1: out-of-range
+		s.fetchPJ = make([]float64, n)
+		s.fetches = make([]uint64, n)
+		s.misses = make([]uint64, n)
+	}
+	return s, nil
+}
+
+// OnFetch attributes the access's energy to its PC bucket.
+func (s *Sampler) OnFetch(addr uint32, miss bool) {
+	if s.fetchPJ == nil {
+		return
+	}
+	i := len(s.fetchPJ) - 1
+	if off := int64(addr) - int64(s.cfg.AttribBase); off >= 0 && off < int64(s.cfg.AttribBytes) {
+		i = int(off) / s.bucket
+	}
+	s.fetchPJ[i] += s.cfg.Energy.LastAccessPJ()
+	s.fetches[i]++
+	if miss {
+		s.misses[i]++
+	}
+}
+
+// OnCycle advances the window clock, closing a sample at each
+// boundary.
+func (s *Sampler) OnCycle() {
+	s.cycles++
+	s.inWin++
+	if s.inWin >= uint64(s.cfg.WindowCycles) {
+		s.closeWindow()
+	}
+}
+
+// closeWindow emits one sample from the deltas since the last
+// boundary.
+func (s *Sampler) closeWindow() {
+	sw, in, lk := s.cfg.Energy.EnergyPJ()
+	acc, miss := s.cfg.Access.AccessCounts()
+	var instr uint64
+	if s.cfg.Instrs != nil {
+		instr = s.cfg.Instrs()
+	}
+	s.samples = append(s.samples, WindowSample{
+		EndCycle:   s.cycles,
+		Cycles:     s.inWin,
+		Fetches:    acc - s.lastAcc,
+		Misses:     miss - s.lastMiss,
+		SwitchPJ:   sw - s.lastSw,
+		InternalPJ: in - s.lastIn,
+		LeakPJ:     lk - s.lastLk,
+		Instrs:     instr - s.lastInstr,
+	})
+	s.lastSw, s.lastIn, s.lastLk = sw, in, lk
+	s.lastAcc, s.lastMiss, s.lastInstr = acc, miss, instr
+	s.inWin = 0
+}
+
+// Series flushes any partial window and returns the recorded phase
+// series. The sampler may not be reused afterwards.
+func (s *Sampler) Series() *Series {
+	if s.inWin > 0 {
+		s.closeWindow()
+	}
+	out := &Series{WindowCycles: s.cfg.WindowCycles, Samples: s.samples}
+	for i, pj := range s.fetchPJ {
+		if s.fetches[i] == 0 {
+			continue
+		}
+		start := s.cfg.AttribBase + uint32(i*s.bucket)
+		end := start + uint32(s.bucket)
+		if i == len(s.fetchPJ)-1 {
+			// The catch-all bucket has no meaningful range.
+			start, end = 0, 0
+		}
+		out.Hotspots = append(out.Hotspots, Hotspot{
+			StartAddr: start, EndAddr: end,
+			Fetches: s.fetches[i], Misses: s.misses[i], FetchPJ: pj,
+		})
+	}
+	sort.Slice(out.Hotspots, func(a, b int) bool {
+		ha, hb := out.Hotspots[a], out.Hotspots[b]
+		if ha.FetchPJ != hb.FetchPJ {
+			return ha.FetchPJ > hb.FetchPJ
+		}
+		return ha.StartAddr < hb.StartAddr
+	})
+	return out
+}

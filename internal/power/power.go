@@ -146,6 +146,8 @@ type Meter struct {
 	wSum   float64
 	wFill  int
 	peakPJ float64 // max window energy sum
+
+	lastAccessPJ float64 // energy charged by the most recent access
 }
 
 // NewMeter builds a meter for the given cache geometry.
@@ -207,12 +209,25 @@ func (m *Meter) Access(addr uint32, block []byte, miss bool) {
 	sw := m.cal.SwitchPJPerBit * float64(toggles)
 	m.rep.SwitchingPJ += sw
 	m.pendingPJ += sw
+	m.lastAccessPJ = sw
 	if miss {
 		m.rep.Misses++
 		m.rep.InternalPJ += m.fillPJ
 		m.pendingPJ += m.fillPJ
+		m.lastAccessPJ += m.fillPJ
 	}
 }
+
+// EnergyPJ returns the cumulative switching, internal and leakage
+// energy, making the meter an observable component
+// (metrics.EnergySource) without finalising a Report.
+func (m *Meter) EnergyPJ() (switchPJ, internalPJ, leakPJ float64) {
+	return m.rep.SwitchingPJ, m.rep.InternalPJ, m.rep.LeakagePJ
+}
+
+// LastAccessPJ returns the energy charged by the most recent Access
+// (switching plus any line fill), used for PC-level attribution.
+func (m *Meter) LastAccessPJ() float64 { return m.lastAccessPJ }
 
 // Tick closes one pipeline cycle: per-cycle internal and leakage energy
 // plus any access energy recorded this cycle, and updates the peak

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"powerfits/internal/cache"
+	"powerfits/internal/kernels"
+	"powerfits/internal/power"
+	"powerfits/internal/synth"
+)
+
+// observedSetup prepares crc32 once for the observation tests.
+func observedSetup(t *testing.T) *Setup {
+	t.Helper()
+	s, err := Prepare(kernels.MustGet("crc32"), 1, synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestObservedRunMatchesPlainRun asserts the overhead contract's
+// correctness half: attaching the sampler must not change any
+// architectural or aggregate result.
+func TestObservedRunMatchesPlainRun(t *testing.T) {
+	s := observedSetup(t)
+	cal := power.DefaultCalibration()
+	for _, cfg := range Configs {
+		plain, err := s.Run(cfg, cal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs, err := s.RunObserved(cfg, cal, ObserveOptions{WindowCycles: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obs.Phases == nil {
+			t.Fatalf("%s: observed run carries no phases", cfg.Name)
+		}
+		if plain.Phases != nil {
+			t.Fatalf("%s: plain run carries phases", cfg.Name)
+		}
+		if plain.Pipe.Cycles != obs.Pipe.Cycles || plain.Pipe.Instrs != obs.Pipe.Instrs ||
+			plain.Pipe.FetchAccesses != obs.Pipe.FetchAccesses ||
+			plain.Pipe.Mispredicts != obs.Pipe.Mispredicts {
+			t.Errorf("%s: pipeline results diverge: %+v vs %+v", cfg.Name, plain.Pipe, obs.Pipe)
+		}
+		if plain.Cache != obs.Cache {
+			t.Errorf("%s: cache stats diverge: %+v vs %+v", cfg.Name, plain.Cache, obs.Cache)
+		}
+		if plain.Power != obs.Power {
+			t.Errorf("%s: power reports diverge: %+v vs %+v", cfg.Name, plain.Power, obs.Power)
+		}
+	}
+}
+
+// TestPhaseSeriesConsistency asserts the window sums reconstruct the
+// run totals exactly, so the time series is a lossless decomposition.
+func TestPhaseSeriesConsistency(t *testing.T) {
+	s := observedSetup(t)
+	cal := power.DefaultCalibration()
+	r, err := s.RunObserved(FITS8, cal, ObserveOptions{WindowCycles: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := r.Phases
+	if len(ph.Samples) < 2 {
+		t.Fatalf("only %d windows at 256 cycles over %d cycles", len(ph.Samples), r.Pipe.Cycles)
+	}
+	var cycles, fetches, misses, instrs uint64
+	var sw, in, lk float64
+	for _, w := range ph.Samples {
+		cycles += w.Cycles
+		fetches += w.Fetches
+		misses += w.Misses
+		instrs += w.Instrs
+		sw += w.SwitchPJ
+		in += w.InternalPJ
+		lk += w.LeakPJ
+	}
+	if cycles != r.Pipe.Cycles {
+		t.Errorf("window cycles sum %d ≠ run cycles %d", cycles, r.Pipe.Cycles)
+	}
+	if last := ph.Samples[len(ph.Samples)-1]; last.EndCycle != r.Pipe.Cycles {
+		t.Errorf("last window ends at %d, run at %d", last.EndCycle, r.Pipe.Cycles)
+	}
+	if fetches != r.Cache.Accesses || misses != r.Cache.Misses {
+		t.Errorf("window fetch/miss sums %d/%d ≠ cache stats %d/%d",
+			fetches, misses, r.Cache.Accesses, r.Cache.Misses)
+	}
+	if instrs != r.Pipe.Instrs {
+		t.Errorf("window instr sum %d ≠ retired %d", instrs, r.Pipe.Instrs)
+	}
+	relClose := func(a, b float64) bool {
+		return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+	}
+	if !relClose(sw, r.Power.SwitchingPJ) || !relClose(in, r.Power.InternalPJ) ||
+		!relClose(lk, r.Power.LeakagePJ) {
+		t.Errorf("window energy sums %g/%g/%g ≠ report %g/%g/%g",
+			sw, in, lk, r.Power.SwitchingPJ, r.Power.InternalPJ, r.Power.LeakagePJ)
+	}
+}
+
+// TestHotspotAttribution asserts the PC map accounts for every access
+// and every picojoule of fetch energy (switching + line fills).
+func TestHotspotAttribution(t *testing.T) {
+	s := observedSetup(t)
+	cal := power.DefaultCalibration()
+	r, err := s.RunObserved(ARM16, cal, ObserveOptions{WindowCycles: 1024, HotspotBucketBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := r.Phases
+	if len(ph.Hotspots) == 0 {
+		t.Fatal("no hotspots recorded")
+	}
+	var fetches, misses uint64
+	for _, h := range ph.Hotspots {
+		fetches += h.Fetches
+		misses += h.Misses
+	}
+	if fetches != r.Cache.Accesses || misses != r.Cache.Misses {
+		t.Errorf("hotspot fetch/miss totals %d/%d ≠ cache stats %d/%d",
+			fetches, misses, r.Cache.Accesses, r.Cache.Misses)
+	}
+	fill := cal.FillPJPerBit * float64(ARM16.Cache.LineBytes*8)
+	wantPJ := r.Power.SwitchingPJ + float64(r.Cache.Misses)*fill
+	if got := ph.TotalFetchPJ(); math.Abs(got-wantPJ) > 1e-6*wantPJ {
+		t.Errorf("attributed fetch energy %g ≠ switching+fills %g", got, wantPJ)
+	}
+	// Buckets arrive hottest-first.
+	for i := 1; i < len(ph.Hotspots); i++ {
+		if ph.Hotspots[i-1].FetchPJ < ph.Hotspots[i].FetchPJ {
+			t.Fatalf("hotspots not sorted by energy at %d", i)
+		}
+	}
+}
+
+// TestFetchPortNoAllocs is the overhead contract's cost half: the
+// nil-observer fetch path must not allocate (ci.sh additionally gates
+// this through BenchmarkFetchPort).
+func TestFetchPortNoAllocs(t *testing.T) {
+	s := observedSetup(t)
+	c := cache.MustNew(cache.SA1100ICache())
+	m := power.MustNewMeter(cache.SA1100ICache(), power.DefaultCalibration())
+	port := newICachePort(c, m, s.ArmImage, 4)
+	i := uint32(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		port.FetchBlock(s.ArmImage.TextBase + (i*4)&0xFC)
+		port.Tick()
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("nil-observer fetch path allocates %v allocs/op, want 0", allocs)
+	}
+}

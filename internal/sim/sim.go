@@ -13,6 +13,7 @@ import (
 	"powerfits/internal/cpu"
 	"powerfits/internal/isa/thumb"
 	"powerfits/internal/kernels"
+	"powerfits/internal/metrics"
 	"powerfits/internal/power"
 	"powerfits/internal/profile"
 	"powerfits/internal/program"
@@ -124,6 +125,10 @@ type Result struct {
 	Pipe   *cpu.PipeResult
 	Cache  cache.Stats
 	Power  power.Report
+
+	// Phases is the phase-resolved telemetry of an observed run
+	// (RunObserved with a positive window); nil otherwise.
+	Phases *metrics.Series
 }
 
 // icachePort implements cpu.FetchPort over the cache and power models.
@@ -131,6 +136,9 @@ type Result struct {
 // concurrent use). The fetch path is allocation-free in the steady
 // state: blocks fully inside the text segment alias the image directly,
 // and blocks straddling the bounds reuse a per-port scratch buffer.
+// Observation lives in the separate observedPort wrapper, so the
+// unobserved path carries no instrumentation cost at all (asserted by
+// BenchmarkFetchPort and TestFetchPortNoAllocs).
 type icachePort struct {
 	c        *cache.Cache
 	m        *power.Meter
@@ -151,6 +159,37 @@ func newICachePort(c *cache.Cache, m *power.Meter, im *program.Image, blockBytes
 // concurrent pipeline runs.
 func NewFetchPort(c *cache.Cache, m *power.Meter, im *program.Image, blockBytes int) cpu.FetchPort {
 	return newICachePort(c, m, im, blockBytes)
+}
+
+// NewObservedFetchPort is NewFetchPort with a metrics.Observer attached
+// to the fetch and cycle events; a nil obs returns the plain port.
+func NewObservedFetchPort(c *cache.Cache, m *power.Meter, im *program.Image, blockBytes int, obs metrics.Observer) cpu.FetchPort {
+	p := newICachePort(c, m, im, blockBytes)
+	if obs == nil {
+		return p
+	}
+	return &observedPort{icachePort: p, obs: obs}
+}
+
+// observedPort wraps icachePort with a metrics.Observer. Keeping the
+// wrapper a distinct type (rather than a nil-checked field on
+// icachePort) leaves the unobserved port exactly as fast as before:
+// icachePort.Tick stays within the inlining budget and FetchBlock
+// carries no extra branch.
+type observedPort struct {
+	*icachePort
+	obs metrics.Observer
+}
+
+func (p *observedPort) FetchBlock(addr uint32) int {
+	stall := p.icachePort.FetchBlock(addr)
+	p.obs.OnFetch(addr, stall != 0)
+	return stall
+}
+
+func (p *observedPort) Tick() {
+	p.icachePort.Tick()
+	p.obs.OnCycle()
 }
 
 func (p *icachePort) FetchBlock(addr uint32) int {
@@ -175,12 +214,38 @@ func (p *icachePort) FetchBlock(addr uint32) int {
 	return MissPenalty
 }
 
-func (p *icachePort) Tick() { p.m.Tick() }
+func (p *icachePort) Tick() {
+	p.m.Tick()
+}
+
+// ObserveOptions configures phase-resolved telemetry for a run.
+// The zero value disables observation entirely (the fast path).
+type ObserveOptions struct {
+	// WindowCycles is the sample window length in pipeline cycles;
+	// each window yields one metrics.WindowSample. ≤ 0 disables
+	// sampling.
+	WindowCycles int
+	// HotspotBucketBytes is the PC-attribution granularity for the
+	// fetch-energy hotspot map (0 = the metrics default, 64 bytes).
+	HotspotBucketBytes int
+}
+
+// Enabled reports whether the options request any observation.
+func (o ObserveOptions) Enabled() bool { return o.WindowCycles > 0 }
 
 // Run executes the prepared kernel under one configuration. It is safe
 // to call concurrently on the same Setup: every piece of mutable state
 // (cache, meter, layout index, machine) is created per call.
 func (s *Setup) Run(cfg Config, cal power.Calibration) (*Result, error) {
+	return s.RunObserved(cfg, cal, ObserveOptions{})
+}
+
+// RunObserved is Run with phase-resolved telemetry: when opt enables
+// sampling, the cache and power meter are polled at every window
+// boundary and each fetch is attributed to its PC bucket, and the
+// Result carries the resulting metrics.Series. Architectural and
+// aggregate results are identical to an unobserved Run.
+func (s *Setup) RunObserved(cfg Config, cal power.Calibration, opt ObserveOptions) (*Result, error) {
 	var prog *program.Program
 	var im *program.Image
 	switch cfg.ISA {
@@ -198,13 +263,34 @@ func (s *Setup) Run(cfg Config, cal power.Calibration) (*Result, error) {
 		return nil, err
 	}
 	pc := cpu.DefaultPipeConfig()
-	port := newICachePort(c, meter, im, pc.BlockBytes)
 	m := cpu.New(prog, cpu.ImageLayout(im))
+	var sampler *metrics.Sampler
+	var obs metrics.Observer
+	if opt.Enabled() {
+		sampler, err = metrics.NewSampler(metrics.SamplerConfig{
+			WindowCycles:      opt.WindowCycles,
+			Energy:            meter,
+			Access:            c,
+			Instrs:            func() uint64 { return m.InstrCount },
+			AttribBase:        im.TextBase,
+			AttribBytes:       len(im.Text),
+			AttribBucketBytes: opt.HotspotBucketBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		obs = sampler
+	}
+	port := NewObservedFetchPort(c, meter, im, pc.BlockBytes, obs)
 	pipe, err := cpu.RunPipeline(m, pc, port)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s on %s: %w", s.Kernel.Name, cfg.Name, err)
 	}
-	return &Result{Config: cfg, Pipe: pipe, Cache: c.Stats(), Power: meter.Report()}, nil
+	res := &Result{Config: cfg, Pipe: pipe, Cache: c.Stats(), Power: meter.Report()}
+	if sampler != nil {
+		res.Phases = sampler.Series()
+	}
+	return res, nil
 }
 
 // RunAll executes the kernel under every configuration.

@@ -1,0 +1,146 @@
+package trace_test
+
+import (
+	"testing"
+
+	"powerfits/internal/cache"
+	"powerfits/internal/cpu"
+	"powerfits/internal/power"
+	"powerfits/internal/sim"
+	"powerfits/internal/trace"
+)
+
+// The trace-driven methodology's correctness contract: the fetch
+// address stream is a function of the instruction flow alone, not of
+// hit/miss stall timing, so a trace recorded against ideal memory and
+// replayed through a cache geometry must reproduce exactly the cache
+// statistics of the live pipeline+cache simulation of that geometry.
+
+var liveKernels = []string{"crc32", "sha", "gsm"}
+
+var liveGeometries = []struct {
+	name string
+	cfg  sim.Config
+}{
+	{"16K", sim.ARM16},
+	{"8K", sim.ARM8},
+}
+
+// recordARM captures the ARM-side fetch stream of one kernel against
+// ideal memory (nil inner port).
+func recordARM(t *testing.T, s *sim.Setup) *trace.Trace {
+	t.Helper()
+	pc := cpu.DefaultPipeConfig()
+	rec := trace.NewRecorder(s.Kernel.Name, pc.BlockBytes, nil)
+	m := cpu.New(s.Prog, cpu.ImageLayout(s.ArmImage))
+	if _, err := cpu.RunPipeline(m, pc, rec); err != nil {
+		t.Fatal(err)
+	}
+	return &rec.T
+}
+
+// TestReplayMatchesLiveSimulation records each kernel once and checks
+// the replayed stats against the live run for both cache geometries.
+func TestReplayMatchesLiveSimulation(t *testing.T) {
+	cal := power.DefaultCalibration()
+	for _, name := range liveKernels {
+		s, err := sim.PrepareByName(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := recordARM(t, s)
+		if len(tr.Addrs) == 0 {
+			t.Fatalf("%s: empty trace", name)
+		}
+		for _, g := range liveGeometries {
+			live, err := s.Run(g.cfg, cal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replayed, err := trace.Replay(tr, g.cfg.Cache)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if replayed != live.Cache {
+				t.Errorf("%s/%s: replayed stats %+v ≠ live stats %+v",
+					name, g.name, replayed, live.Cache)
+			}
+		}
+	}
+}
+
+// TestRecorderTransparent wraps the live cache port in a Recorder and
+// checks that (a) recording does not perturb the simulation and (b) the
+// captured stream replays to the same stats — i.e. the recorder is a
+// pure tap.
+func TestRecorderTransparent(t *testing.T) {
+	s, err := sim.PrepareByName("crc32", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := power.DefaultCalibration()
+	live, err := s.Run(sim.ARM16, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := sim.ARM16
+	c := cache.MustNew(cfg.Cache)
+	m := power.MustNewMeter(cfg.Cache, cal)
+	pc := cpu.DefaultPipeConfig()
+	port := sim.NewFetchPort(c, m, s.ArmImage, pc.BlockBytes)
+	rec := trace.NewRecorder("crc32", pc.BlockBytes, port)
+	mach := cpu.New(s.Prog, cpu.ImageLayout(s.ArmImage))
+	res, err := cpu.RunPipeline(mach, pc, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Cycles != live.Pipe.Cycles || res.Instrs != live.Pipe.Instrs {
+		t.Errorf("recorded run diverges: %d cycles / %d instrs, live %d / %d",
+			res.Cycles, res.Instrs, live.Pipe.Cycles, live.Pipe.Instrs)
+	}
+	if c.Stats() != live.Cache {
+		t.Errorf("recorded run cache stats %+v ≠ live %+v", c.Stats(), live.Cache)
+	}
+	if got := uint64(len(rec.T.Addrs)); got != live.Cache.Accesses {
+		t.Errorf("recorded %d addresses, live run made %d accesses", got, live.Cache.Accesses)
+	}
+	replayed, err := trace.Replay(&rec.T, cfg.Cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != live.Cache {
+		t.Errorf("replay of tapped trace %+v ≠ live stats %+v", replayed, live.Cache)
+	}
+}
+
+// TestRoundTripReplay marshals a live trace, unmarshals it, and checks
+// the decoded stream still replays to the live statistics, so traces
+// survive storage without losing fidelity.
+func TestRoundTripReplay(t *testing.T) {
+	s, err := sim.PrepareByName("sha", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := recordARM(t, s)
+	back, err := trace.Unmarshal(tr.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := power.DefaultCalibration()
+	for _, g := range liveGeometries {
+		live, err := s.Run(g.cfg, cal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed, err := trace.Replay(back, g.cfg.Cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if replayed != live.Cache {
+			t.Errorf("%s: round-tripped replay %+v ≠ live stats %+v",
+				g.name, replayed, live.Cache)
+		}
+	}
+}
