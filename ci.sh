@@ -31,4 +31,15 @@ if ! echo "$bench" | grep -q "BenchmarkFetchPort.* 0 allocs/op"; then
     exit 1
 fi
 
+echo "== regression gate: scale-1 suite vs committed baseline =="
+# Archives a fresh scale-1 run and diffs it against testdata/baseline.json.
+# Any figure or per-kernel metric moving in the wrong direction fails the
+# build (powerfits diff exits nonzero). After an intentional model change,
+# refresh the baseline with:
+#   go run ./cmd/fitsbench -scale 1 -q -exp headline -archive testdata/baseline.json
+gate_tmp=$(mktemp -d)
+trap 'rm -rf "$gate_tmp"' EXIT
+go run ./cmd/fitsbench -scale 1 -q -exp headline -archive "$gate_tmp/current.json" >/dev/null
+go run ./cmd/powerfits diff -base testdata/baseline.json -new "$gate_tmp/current.json"
+
 echo "ci.sh: all checks passed"

@@ -12,33 +12,22 @@
 //	fitsbench -exp ablations  # the four synthesis ablations
 //	fitsbench -scale 1 -q     # quick run, no progress lines
 //	fitsbench -json BENCH_suite.json   # also emit timing/headline JSON
+//	fitsbench -archive .powerfits/runs # archive the full run record (see `powerfits diff`)
 //	fitsbench -metrics suite.json -phases suite.csv [-window N]
 //	fitsbench -cpuprofile cpu.pprof -memprofile mem.pprof -trace run.trace
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"powerfits/internal/archive"
 	"powerfits/internal/experiments"
 	"powerfits/internal/metrics"
 	"powerfits/internal/sim"
 )
-
-// benchJSON is the -json report: the suite's wall clock, per-kernel
-// prepare/run times and the headline/table averages, so successive PRs
-// can track the performance trajectory.
-type benchJSON struct {
-	Scale     int                        `json:"scale"`
-	Workers   int                        `json:"workers"`
-	WallSec   float64                    `json:"wall_sec"`
-	Kernels   []experiments.KernelTiming `json:"kernels"`
-	Headline  map[string]float64         `json:"headline"`
-	TableAvgs map[string][]float64       `json:"table_averages"`
-}
 
 // stopProfiles flushes any active -cpuprofile/-memprofile/-trace
 // output; fatal routes through it so profiles survive error exits.
@@ -97,27 +86,24 @@ func exportSuite(man *metrics.Manifest, scale int, suite *experiments.Suite,
 	}
 }
 
-func writeJSON(path string, scale int, suite *experiments.Suite) error {
-	rep := benchJSON{
-		Scale:     scale,
-		Workers:   suite.Workers,
-		WallSec:   suite.WallSec,
-		Kernels:   suite.Timings,
-		Headline:  make(map[string]float64),
-		TableAvgs: make(map[string][]float64),
+// archiveSuite writes the complete run record. A path ending in .json
+// lands exactly there (the CI baseline workflow); anything else is
+// treated as a run-store directory and the record is filed under its
+// deterministic run ID.
+func archiveSuite(man *metrics.Manifest, scale int, suite *experiments.Suite, dest string) {
+	rec := archive.FromSuite(man, suite, scale)
+	man.Finish()
+	path := dest
+	var err error
+	if strings.HasSuffix(dest, ".json") {
+		err = rec.WriteFile(dest)
+	} else {
+		path, err = archive.NewStore(dest).Save(rec)
 	}
-	head := suite.Headline()
-	for i, col := range head.Columns {
-		rep.Headline[col] = head.Rows[0].Vals[i]
-	}
-	for _, t := range suite.AllFigures() {
-		rep.TableAvgs[t.ID] = t.Average()
-	}
-	blob, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
-		return err
+		fatal(err)
 	}
-	return os.WriteFile(path, append(blob, '\n'), 0o644)
+	fmt.Fprintf(os.Stderr, "archived run %s to %s\n", rec.RunID, path)
 }
 
 func main() {
@@ -127,6 +113,7 @@ func main() {
 		quiet       = flag.Bool("q", false, "suppress progress output")
 		jobs        = flag.Int("j", 0, "parallel workers (0 = all cores, 1 = sequential)")
 		jsonPath    = flag.String("json", "", "write suite timing and headline averages as JSON to this path")
+		archiveTo   = flag.String("archive", "", "archive the complete run record: a .json path, or a run-store directory")
 		metricsPath = flag.String("metrics", "", "write manifest + suite registry + phase series as JSON")
 		phasesPath  = flag.String("phases", "", "write every run's phase series as CSV")
 		window      = flag.Int("window", 4096, "phase-sample window in cycles (with -metrics/-phases)")
@@ -181,16 +168,23 @@ func main() {
 			}
 		}
 		if *jsonPath != "" {
-			if err := writeJSON(*jsonPath, *scale, suite); err != nil {
+			man.Scale, man.Workers = *scale, suite.Workers
+			man.SetCalibration(suite.Cal)
+			man.Finish()
+			rep := experiments.NewBenchReport(man, *scale, suite)
+			if err := rep.WriteFile(*jsonPath); err != nil {
 				fatal(err)
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 		}
+		if *archiveTo != "" {
+			archiveSuite(man, *scale, suite, *archiveTo)
+		}
 		if *metricsPath != "" || *phasesPath != "" {
 			exportSuite(man, *scale, suite, *metricsPath, *phasesPath)
 		}
-	} else if *jsonPath != "" || *metricsPath != "" || *phasesPath != "" {
-		fatal(fmt.Errorf("-json/-metrics/-phases require a suite experiment (not ablations/extensions)"))
+	} else if *jsonPath != "" || *metricsPath != "" || *phasesPath != "" || *archiveTo != "" {
+		fatal(fmt.Errorf("-json/-metrics/-phases/-archive require a suite experiment (not ablations/extensions)"))
 	}
 
 	ext := func(f func(int) (*experiments.Table, error)) *experiments.Table {

@@ -16,6 +16,11 @@
 //	powerfits asm    -file prog.s [-config FITS8]   # assemble + full flow + run
 //	powerfits sweep  -kernel jpeg [-j N]            # trace-driven cache-size sweep
 //	powerfits config -kernel crc32 > crc32.cfg      # the decoder-configuration image
+//	powerfits archive [-scale N] [-dir runs/] [-list]      # archive a suite run / list the store
+//	powerfits diff -base <id|file> [-new <id|file>|-live]  # regression-gate two archived runs
+//	               [-tol F] [-tol-for k=v,...] [-json]     # (exits 1 on regression)
+//	powerfits explain -kernel crc32 [-op N] [-save t.json] # synthesis decision log
+//	powerfits explain -in <id|file>                        # replay an archived trace
 package main
 
 import (
@@ -40,7 +45,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: powerfits <list|info|isa|disasm|dump|run|report|asm|sweep|config> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: powerfits <list|info|isa|disasm|dump|run|report|asm|sweep|config|archive|diff|explain> [flags]")
 	os.Exit(2)
 }
 
@@ -65,6 +70,16 @@ func main() {
 	window := fs.Int("window", 4096, "phase-sample window in cycles (run command)")
 	topN := fs.Int("top", 10, "hotspot rows to render (report command)")
 	inPath := fs.String("in", "", "metrics JSON to render (report command)")
+	baseArg := fs.String("base", "", "baseline run: a run ID or a record file (diff command)")
+	newArg := fs.String("new", "", "candidate run: a run ID or a record file (diff command)")
+	live := fs.Bool("live", false, "diff against a freshly generated suite at the baseline's scale")
+	tol := fs.Float64("tol", 0, "relative tolerance for diff classification (0 = 1e-6)")
+	tolFor := fs.String("tol-for", "", "per-key tolerance overrides, e.g. fig10=0.05,kernel=0.01 (diff command)")
+	jsonOut := fs.Bool("json", false, "emit the diff as JSON (diff command)")
+	dir := fs.String("dir", "", "run-store directory (default .powerfits/runs)")
+	listRuns := fs.Bool("list", false, "list the archived runs (archive command)")
+	savePath := fs.String("save", "", "archive the synthesis trace to this file (explain command)")
+	opN := fs.Int("op", -1, "explain one opcode point of the final spec (explain command)")
 	cpuProf := fs.String("cpuprofile", "", "write a pprof CPU profile to this path")
 	memProf := fs.String("memprofile", "", "write a pprof heap profile to this path")
 	traceOut := fs.String("trace", "", "write a runtime/trace execution trace to this path")
@@ -97,6 +112,22 @@ func main() {
 			fatal(fmt.Errorf("report requires -in metrics.json"))
 		}
 		report(*inPath, *topN)
+		finish()
+		return
+	case "archive":
+		cmdArchive(*dir, *listRuns, *scale, *jobs)
+		finish()
+		return
+	case "diff":
+		ok := cmdDiff(diffOpts{Base: *baseArg, New: *newArg, Dir: *dir, Tol: *tol,
+			TolFor: *tolFor, Live: *live, JSON: *jsonOut, Jobs: *jobs, Top: *topN})
+		finish()
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	case "explain":
+		cmdExplain(*kernel, *scale, *opN, *savePath, *inPath, *dir)
 		finish()
 		return
 	}

@@ -1,0 +1,367 @@
+// Package archive persists complete run records — manifest, registry
+// snapshot, every experiment figure, per-kernel architectural metrics,
+// phase series and synthesis decision traces — as versioned JSON under
+// a run store (.powerfits/runs by default), and diffs two records with
+// relative-tolerance classification so a committed baseline can gate
+// CI on regressions.
+//
+// Run IDs are deterministic: they derive from the schema version, the
+// workload scale and the configuration hash (power calibration plus
+// every kernel's decoder-configuration image), never from wall-clock
+// time. Re-archiving an identical configuration therefore lands on the
+// same ID, which is what makes "diff this run against the baseline"
+// meaningful.
+package archive
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"powerfits/internal/experiments"
+	"powerfits/internal/metrics"
+	"powerfits/internal/sim"
+	"powerfits/internal/synth"
+)
+
+// Schema identifies the record format; SchemaVersion its revision.
+// Readers reject anything else — a record written by a future revision
+// must not be silently misinterpreted by an old differ.
+const (
+	Schema        = "powerfits-run"
+	SchemaVersion = 1
+)
+
+// DefaultDir is the conventional run-store location.
+const DefaultDir = ".powerfits/runs"
+
+// Figure is one experiment table, serialized with its computed
+// averages so a diff never has to re-derive them.
+type Figure struct {
+	ID      string      `json:"id"`
+	Title   string      `json:"title"`
+	Unit    string      `json:"unit,omitempty"`
+	Columns []string    `json:"columns"`
+	Rows    []FigureRow `json:"rows"`
+	Average []float64   `json:"average"`
+}
+
+// FigureRow is one benchmark's values in a Figure.
+type FigureRow struct {
+	Name string    `json:"name"`
+	Vals []float64 `json:"vals"`
+}
+
+// KernelMetrics is the deterministic architectural outcome of one
+// kernel × configuration run — the numbers a regression diff compares
+// (timing lives in the registry and is deliberately excluded).
+type KernelMetrics struct {
+	Kernel      string  `json:"kernel"`
+	Config      string  `json:"config"`
+	Cycles      uint64  `json:"cycles"`
+	Instrs      uint64  `json:"instrs"`
+	Fetches     uint64  `json:"fetches"`
+	Misses      uint64  `json:"misses"`
+	Branches    uint64  `json:"branches"`
+	Mispredicts uint64  `json:"mispredicts"`
+	SwitchPJ    float64 `json:"switch_pj"`
+	InternalPJ  float64 `json:"internal_pj"`
+	LeakPJ      float64 `json:"leak_pj"`
+	PeakW       float64 `json:"peak_w"`
+}
+
+// Record is one archived run.
+type Record struct {
+	Schema        string `json:"schema"`
+	SchemaVersion int    `json:"schema_version"`
+	// RunID is deterministic: derived from schema version, scale and
+	// config hash — never from wall-clock.
+	RunID string `json:"run_id"`
+	Scale int    `json:"scale"`
+	// ConfigHash pins the power calibration and every kernel's decoder
+	// configuration.
+	ConfigHash string `json:"config_hash,omitempty"`
+
+	Manifest *metrics.Manifest   `json:"manifest,omitempty"`
+	Registry metrics.Snapshot    `json:"registry,omitempty"`
+	Figures  []Figure            `json:"figures,omitempty"`
+	Kernels  []KernelMetrics     `json:"kernels,omitempty"`
+	Phases   []metrics.RunExport `json:"phase_runs,omitempty"`
+	Traces   []*synth.Trace      `json:"synth_traces,omitempty"`
+}
+
+// runID derives the deterministic run identifier from identity-bearing
+// blobs.
+func runID(scale int, configHash string) string {
+	h := metrics.HashConfig(
+		[]byte(fmt.Sprintf("%s/%d/scale=%d/", Schema, SchemaVersion, scale)),
+		[]byte(configHash),
+	)
+	return "r" + h[:16]
+}
+
+// figureOf converts one experiments table.
+func figureOf(t *experiments.Table) Figure {
+	f := Figure{ID: t.ID, Title: t.Title, Unit: t.Unit,
+		Columns: append([]string(nil), t.Columns...), Average: t.Average()}
+	for _, r := range t.Rows {
+		f.Rows = append(f.Rows, FigureRow{Name: r.Name, Vals: append([]float64(nil), r.Vals...)})
+	}
+	return f
+}
+
+// FromSuite builds a complete record from one generated suite: every
+// figure in paper order, the per-kernel architectural metrics of all
+// four configurations, the merged registry, and any phase series the
+// suite was observed with. The manifest (optional) is stamped with the
+// suite's scale, workers, calibration and config hash.
+func FromSuite(man *metrics.Manifest, suite *experiments.Suite, scale int) *Record {
+	blobs := [][]byte{}
+	cal, _ := json.Marshal(suite.Cal)
+	blobs = append(blobs, cal)
+	for _, s := range suite.Setups {
+		blobs = append(blobs, s.Synth.Spec.MarshalConfig())
+	}
+	hash := metrics.HashConfig(blobs...)
+
+	rec := &Record{
+		Schema:        Schema,
+		SchemaVersion: SchemaVersion,
+		RunID:         runID(scale, hash),
+		Scale:         scale,
+		ConfigHash:    hash,
+		Manifest:      man,
+	}
+	if man != nil {
+		man.Scale = scale
+		man.Workers = suite.Workers
+		man.ConfigHash = hash
+		man.SetCalibration(suite.Cal)
+	}
+	if suite.Metrics != nil {
+		rec.Registry = suite.Metrics.Snapshot()
+	}
+	for _, t := range suite.AllFigures() {
+		rec.Figures = append(rec.Figures, figureOf(t))
+	}
+	for _, s := range suite.Setups {
+		for _, cfg := range sim.Configs {
+			r := suite.Results[s.Kernel.Name][cfg.Name]
+			rec.Kernels = append(rec.Kernels, KernelMetrics{
+				Kernel:      s.Kernel.Name,
+				Config:      cfg.Name,
+				Cycles:      r.Pipe.Cycles,
+				Instrs:      r.Pipe.Instrs,
+				Fetches:     r.Cache.Accesses,
+				Misses:      r.Cache.Misses,
+				Branches:    r.Pipe.Branches,
+				Mispredicts: r.Pipe.Mispredicts,
+				SwitchPJ:    r.Power.SwitchingPJ,
+				InternalPJ:  r.Power.InternalPJ,
+				LeakPJ:      r.Power.LeakagePJ,
+				PeakW:       r.Power.PeakPowerW,
+			})
+			if r.Phases != nil {
+				rec.Phases = append(rec.Phases, metrics.RunExport{
+					Kernel: s.Kernel.Name, Config: cfg.Name, Series: r.Phases})
+			}
+		}
+	}
+	return rec
+}
+
+// FromTrace builds a trace-only record (the `powerfits explain -save`
+// artifact): one kernel's synthesis decision log, identified by its
+// decoder-configuration image.
+func FromTrace(man *metrics.Manifest, tr *synth.Trace, specConfig []byte, scale int) *Record {
+	hash := metrics.HashConfig([]byte("trace/"+tr.Program+"/"), specConfig)
+	if man != nil {
+		man.Scale = scale
+		man.ConfigHash = hash
+	}
+	return &Record{
+		Schema:        Schema,
+		SchemaVersion: SchemaVersion,
+		RunID:         runID(scale, hash),
+		Scale:         scale,
+		ConfigHash:    hash,
+		Manifest:      man,
+		Traces:        []*synth.Trace{tr},
+	}
+}
+
+// Validate checks a decoded record's schema markers, returning a clear
+// error for foreign or future documents.
+func (r *Record) Validate() error {
+	if r.Schema == "" {
+		return fmt.Errorf("archive: not a %s record (missing schema field)", Schema)
+	}
+	if r.Schema != Schema {
+		return fmt.Errorf("archive: schema %q is not %q", r.Schema, Schema)
+	}
+	if r.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("archive: schema_version %d not understood (this build reads version %d); re-archive with a matching binary or refresh the baseline",
+			r.SchemaVersion, SchemaVersion)
+	}
+	if r.RunID == "" {
+		return fmt.Errorf("archive: record has no run_id")
+	}
+	return nil
+}
+
+// Write serializes the record as indented JSON.
+func (r *Record) Write(w io.Writer) error {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(blob, '\n'))
+	return err
+}
+
+// WriteFile writes the record to path, creating parent directories.
+func (r *Record) WriteFile(path string) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read decodes and validates a record.
+func Read(rd io.Reader) (*Record, error) {
+	var r Record
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("archive: decoding record: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// ReadFile reads and validates a record from path.
+func ReadFile(path string) (*Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Store is a directory of archived runs, one <run-id>.json per record.
+type Store struct {
+	Dir string
+}
+
+// NewStore returns a store rooted at dir ("" selects DefaultDir).
+func NewStore(dir string) *Store {
+	if dir == "" {
+		dir = DefaultDir
+	}
+	return &Store{Dir: dir}
+}
+
+// Path returns the file path of a run ID.
+func (s *Store) Path(id string) string { return filepath.Join(s.Dir, id+".json") }
+
+// Save writes the record under its run ID and returns the path. A
+// record with the same configuration overwrites its predecessor — the
+// ID is the identity.
+func (s *Store) Save(r *Record) (string, error) {
+	if err := r.Validate(); err != nil {
+		return "", err
+	}
+	path := s.Path(r.RunID)
+	if err := r.WriteFile(path); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Load reads one record by run ID.
+func (s *Store) Load(id string) (*Record, error) {
+	return ReadFile(s.Path(id))
+}
+
+// List reads every record in the store, sorted by manifest start time
+// then run ID (records without a manifest sort first).
+func (s *Store) List() ([]*Record, error) {
+	entries, err := os.ReadDir(s.Dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []*Record
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		r, err := ReadFile(filepath.Join(s.Dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		sa, sb := startedAt(out[a]), startedAt(out[b])
+		if sa != sb {
+			return sa < sb
+		}
+		return out[a].RunID < out[b].RunID
+	})
+	return out, nil
+}
+
+// Latest returns the most recently started record, or an error when
+// the store is empty.
+func (s *Store) Latest() (*Record, error) {
+	recs, err := s.List()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("archive: no runs in %s", s.Dir)
+	}
+	return recs[len(recs)-1], nil
+}
+
+func startedAt(r *Record) string {
+	if r.Manifest == nil {
+		return ""
+	}
+	return r.Manifest.StartedAt
+}
+
+// Resolve loads a record from what the CLI was given: an existing file
+// path, or a run ID looked up in the store.
+func (s *Store) Resolve(arg string) (*Record, error) {
+	if _, err := os.Stat(arg); err == nil {
+		return ReadFile(arg)
+	}
+	r, err := s.Load(arg)
+	if err != nil {
+		return nil, fmt.Errorf("archive: %q is neither a readable file nor a run ID in %s: %w", arg, s.Dir, err)
+	}
+	return r, nil
+}

@@ -1,0 +1,310 @@
+package archive
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Direction is a metric's improvement polarity.
+type Direction int
+
+const (
+	// HigherBetter marks metrics where growth is an improvement
+	// (mapping rates, savings, IPC).
+	HigherBetter Direction = iota
+	// LowerBetter marks metrics where shrinkage is an improvement
+	// (code size, miss rate, cycles, energy).
+	LowerBetter
+	// Neutral marks descriptive metrics (power-share breakdowns,
+	// branch counts): a drift beyond tolerance is reported as changed
+	// but never gates.
+	Neutral
+)
+
+// figureDirection maps a figure ID to its polarity.
+func figureDirection(id string) Direction {
+	switch {
+	case id == "fig5", id == "fig13":
+		return LowerBetter
+	case strings.HasPrefix(id, "fig6"):
+		return Neutral
+	default:
+		// fig3, fig4 (mapping %), fig7–fig12 (savings %), fig14 (IPC),
+		// headline.
+		return HigherBetter
+	}
+}
+
+// kernelMetricDirection maps a KernelMetrics field name to its
+// polarity.
+func kernelMetricDirection(metric string) Direction {
+	switch metric {
+	case "branches":
+		return Neutral
+	default:
+		// cycles, instrs, fetches, misses, mispredicts and every
+		// energy/power component: less is better.
+		return LowerBetter
+	}
+}
+
+// Classification of one delta.
+const (
+	ClassImproved  = "improved"
+	ClassUnchanged = "unchanged"
+	ClassRegressed = "regressed"
+	ClassChanged   = "changed" // beyond tolerance on a Neutral metric
+)
+
+// Delta is one compared value.
+type Delta struct {
+	// Key locates the value: "fig11/crc32/FITS8" or
+	// "kernel/crc32/FITS8/cycles".
+	Key  string  `json:"key"`
+	Base float64 `json:"base"`
+	New  float64 `json:"new"`
+	// Rel is the signed relative change against |base|.
+	Rel   float64 `json:"rel"`
+	Class string  `json:"class"`
+}
+
+// DiffOptions tunes the comparison.
+type DiffOptions struct {
+	// RelTol is the default relative tolerance (0 selects 1e-6 — runs
+	// are deterministic, so same-config diffs are exactly zero).
+	RelTol float64
+	// AbsFloor bounds the denominator of the relative change so
+	// near-zero baselines don't amplify noise (0 selects 1e-9).
+	AbsFloor float64
+	// PerKey overrides the tolerance for keys by longest matching
+	// prefix, e.g. {"fig10": 0.05, "kernel": 0.01}.
+	PerKey map[string]float64
+}
+
+func (o DiffOptions) relTol() float64 {
+	if o.RelTol > 0 {
+		return o.RelTol
+	}
+	return 1e-6
+}
+
+func (o DiffOptions) absFloor() float64 {
+	if o.AbsFloor > 0 {
+		return o.AbsFloor
+	}
+	return 1e-9
+}
+
+// tolFor returns the tolerance for a key: the longest PerKey prefix
+// match wins, else the default.
+func (o DiffOptions) tolFor(key string) float64 {
+	tol, best := o.relTol(), -1
+	for prefix, t := range o.PerKey {
+		if len(prefix) > best && strings.HasPrefix(key, prefix) {
+			tol, best = t, len(prefix)
+		}
+	}
+	return tol
+}
+
+// Diff is the outcome of comparing two records.
+type Diff struct {
+	BaseID string `json:"base_id"`
+	NewID  string `json:"new_id"`
+	Scale  int    `json:"scale"`
+	// ConfigChanged flags differing config hashes: the two runs
+	// synthesized different ISAs or calibrations, so deltas are
+	// expected and the baseline may need a refresh.
+	ConfigChanged bool `json:"config_changed"`
+
+	// Deltas lists every non-unchanged comparison, worst first.
+	Deltas []Delta `json:"deltas,omitempty"`
+	// MissingInNew are keys the baseline has but the new run lacks
+	// (gates: the comparison is incomplete).
+	MissingInNew []string `json:"missing_in_new,omitempty"`
+	// OnlyInNew are keys the new run added (informational).
+	OnlyInNew []string `json:"only_in_new,omitempty"`
+
+	Compared  int `json:"compared"`
+	Improved  int `json:"improved"`
+	Regressed int `json:"regressed"`
+	Changed   int `json:"changed"`
+	Unchanged int `json:"unchanged"`
+}
+
+// OK reports whether the diff gates clean: no regression and no
+// missing keys.
+func (d *Diff) OK() bool { return d.Regressed == 0 && len(d.MissingInNew) == 0 }
+
+// value is one comparable scalar with its polarity.
+type value struct {
+	v   float64
+	dir Direction
+}
+
+// flatten turns a record into key → value.
+func flatten(r *Record) map[string]value {
+	out := make(map[string]value)
+	for _, f := range r.Figures {
+		dir := figureDirection(f.ID)
+		for _, row := range f.Rows {
+			for ci, col := range f.Columns {
+				if ci >= len(row.Vals) {
+					continue
+				}
+				out[f.ID+"/"+row.Name+"/"+col] = value{row.Vals[ci], dir}
+			}
+		}
+	}
+	for _, k := range r.Kernels {
+		base := "kernel/" + k.Kernel + "/" + k.Config + "/"
+		for metric, v := range map[string]float64{
+			"cycles":      float64(k.Cycles),
+			"instrs":      float64(k.Instrs),
+			"fetches":     float64(k.Fetches),
+			"misses":      float64(k.Misses),
+			"branches":    float64(k.Branches),
+			"mispredicts": float64(k.Mispredicts),
+			"switch_pj":   k.SwitchPJ,
+			"internal_pj": k.InternalPJ,
+			"leak_pj":     k.LeakPJ,
+			"peak_w":      k.PeakW,
+		} {
+			out[base+metric] = value{v, kernelMetricDirection(metric)}
+		}
+	}
+	return out
+}
+
+// Compare diffs two records. Both must carry the same schema version
+// (enforced at read time) and the same scale — comparing different
+// workload scales is meaningless and returns an error.
+func Compare(base, new_ *Record, opt DiffOptions) (*Diff, error) {
+	if err := base.Validate(); err != nil {
+		return nil, fmt.Errorf("base: %w", err)
+	}
+	if err := new_.Validate(); err != nil {
+		return nil, fmt.Errorf("new: %w", err)
+	}
+	if base.Scale != new_.Scale {
+		return nil, fmt.Errorf("archive: scale mismatch: base ran at %d, new at %d — diff runs of the same scale",
+			base.Scale, new_.Scale)
+	}
+	d := &Diff{
+		BaseID:        base.RunID,
+		NewID:         new_.RunID,
+		Scale:         base.Scale,
+		ConfigChanged: base.ConfigHash != new_.ConfigHash,
+	}
+	bv, nv := flatten(base), flatten(new_)
+	keys := make([]string, 0, len(bv))
+	for k := range bv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		b := bv[key]
+		n, ok := nv[key]
+		if !ok {
+			d.MissingInNew = append(d.MissingInNew, key)
+			continue
+		}
+		d.Compared++
+		tol := opt.tolFor(key)
+		rel := (n.v - b.v) / math.Max(math.Abs(b.v), opt.absFloor())
+		cls := ClassUnchanged
+		if math.Abs(rel) > tol {
+			switch b.dir {
+			case Neutral:
+				cls = ClassChanged
+			case HigherBetter:
+				cls = ClassImproved
+				if rel < 0 {
+					cls = ClassRegressed
+				}
+			case LowerBetter:
+				cls = ClassImproved
+				if rel > 0 {
+					cls = ClassRegressed
+				}
+			}
+		}
+		switch cls {
+		case ClassUnchanged:
+			d.Unchanged++
+			continue // not recorded: same-config diffs stay tiny
+		case ClassImproved:
+			d.Improved++
+		case ClassRegressed:
+			d.Regressed++
+		case ClassChanged:
+			d.Changed++
+		}
+		d.Deltas = append(d.Deltas, Delta{Key: key, Base: b.v, New: n.v, Rel: rel, Class: cls})
+	}
+	for key := range nv {
+		if _, ok := bv[key]; !ok {
+			d.OnlyInNew = append(d.OnlyInNew, key)
+		}
+	}
+	sort.Strings(d.OnlyInNew)
+	// Worst first: regressions, then neutral changes, then
+	// improvements; larger |rel| first within a class.
+	rank := map[string]int{ClassRegressed: 0, ClassChanged: 1, ClassImproved: 2}
+	sort.Slice(d.Deltas, func(a, b int) bool {
+		da, db := d.Deltas[a], d.Deltas[b]
+		if rank[da.Class] != rank[db.Class] {
+			return rank[da.Class] < rank[db.Class]
+		}
+		if ra, rb := math.Abs(da.Rel), math.Abs(db.Rel); ra != rb {
+			return ra > rb
+		}
+		return da.Key < db.Key
+	})
+	return d, nil
+}
+
+// Render writes the diff as an aligned report. maxRows bounds the
+// delta listing (≤ 0 shows everything).
+func (d *Diff) Render(w io.Writer, maxRows int) {
+	fmt.Fprintf(w, "diff: base %s → new %s (scale %d)\n", d.BaseID, d.NewID, d.Scale)
+	if d.ConfigChanged {
+		fmt.Fprintf(w, "note: config hash differs — the runs synthesized different ISAs or calibrations; if intentional, refresh the baseline\n")
+	}
+	rows := d.Deltas
+	truncated := 0
+	if maxRows > 0 && len(rows) > maxRows {
+		truncated = len(rows) - maxRows
+		rows = rows[:maxRows]
+	}
+	if len(rows) > 0 {
+		fmt.Fprintf(w, "%-44s %14s %14s %9s  %s\n", "key", "base", "new", "Δ%", "class")
+		for _, dl := range rows {
+			fmt.Fprintf(w, "%-44s %14.4f %14.4f %+8.2f%%  %s\n",
+				dl.Key, dl.Base, dl.New, 100*dl.Rel, dl.Class)
+		}
+		if truncated > 0 {
+			fmt.Fprintf(w, "... %d more deltas (use -json for the full list)\n", truncated)
+		}
+	}
+	for _, k := range d.MissingInNew {
+		fmt.Fprintf(w, "missing in new run: %s\n", k)
+	}
+	for _, k := range d.OnlyInNew {
+		fmt.Fprintf(w, "only in new run: %s\n", k)
+	}
+	fmt.Fprintf(w, "summary: %d compared — %d improved, %d regressed, %d changed (neutral), %d unchanged",
+		d.Compared, d.Improved, d.Regressed, d.Changed, d.Unchanged)
+	if len(d.MissingInNew) > 0 {
+		fmt.Fprintf(w, ", %d missing", len(d.MissingInNew))
+	}
+	fmt.Fprintln(w)
+	if d.OK() {
+		fmt.Fprintln(w, "result: OK")
+	} else {
+		fmt.Fprintln(w, "result: REGRESSION")
+	}
+}

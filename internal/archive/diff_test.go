@@ -1,0 +1,203 @@
+package archive
+
+import (
+	"strings"
+	"testing"
+)
+
+// pair returns a base record and a mutable copy for diff scenarios.
+func pair() (*Record, *Record) {
+	base := stubRecord("rbase", "")
+	base.Figures = []Figure{
+		{ID: "fig11", Columns: []string{"FITS16", "FITS8"},
+			Rows: []FigureRow{{Name: "crc32", Vals: []float64{18, 48}}}},
+		{ID: "fig5", Columns: []string{"FITS"},
+			Rows: []FigureRow{{Name: "crc32", Vals: []float64{47}}}},
+		{ID: "fig6arm16", Columns: []string{"switching"},
+			Rows: []FigureRow{{Name: "crc32", Vals: []float64{28}}}},
+	}
+	other := stubRecord("rnew", "")
+	other.Figures = []Figure{
+		{ID: "fig11", Columns: []string{"FITS16", "FITS8"},
+			Rows: []FigureRow{{Name: "crc32", Vals: []float64{18, 48}}}},
+		{ID: "fig5", Columns: []string{"FITS"},
+			Rows: []FigureRow{{Name: "crc32", Vals: []float64{47}}}},
+		{ID: "fig6arm16", Columns: []string{"switching"},
+			Rows: []FigureRow{{Name: "crc32", Vals: []float64{28}}}},
+	}
+	other.ConfigHash = base.ConfigHash
+	other.Kernels = append([]KernelMetrics(nil), base.Kernels...)
+	return base, other
+}
+
+func find(d *Diff, key string) *Delta {
+	for i := range d.Deltas {
+		if d.Deltas[i].Key == key {
+			return &d.Deltas[i]
+		}
+	}
+	return nil
+}
+
+func TestCompareIdentical(t *testing.T) {
+	base, other := pair()
+	d, err := Compare(base, other, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK() || len(d.Deltas) != 0 || d.ConfigChanged {
+		t.Fatalf("identical records diff dirty: %+v", d)
+	}
+	if d.Unchanged != d.Compared || d.Compared == 0 {
+		t.Fatalf("compared %d, unchanged %d", d.Compared, d.Unchanged)
+	}
+}
+
+// TestComparePolarity pins the improvement direction of every metric
+// family: a saving that shrinks regresses, a code size that shrinks
+// improves, a breakdown share that moves is neutral, and cycle/energy
+// growth regresses.
+func TestComparePolarity(t *testing.T) {
+	base, other := pair()
+	other.Figures[0].Rows[0].Vals[0] = 15 // fig11 saving 18 → 15: worse
+	other.Figures[1].Rows[0].Vals[0] = 40 // fig5 code size 47 → 40: better
+	other.Figures[2].Rows[0].Vals[0] = 30 // fig6 share 28 → 30: neutral drift
+	other.Kernels[0].Cycles = 120         // cycles 100 → 120: worse
+	other.Kernels[0].SwitchPJ = 9         // energy 10 → 9: better
+
+	d, err := Compare(base, other, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OK() {
+		t.Fatal("regressions not detected")
+	}
+	for key, want := range map[string]string{
+		"fig11/crc32/FITS16":           ClassRegressed,
+		"fig5/crc32/FITS":              ClassImproved,
+		"fig6arm16/crc32/switching":    ClassChanged,
+		"kernel/crc32/FITS8/cycles":    ClassRegressed,
+		"kernel/crc32/FITS8/switch_pj": ClassImproved,
+	} {
+		dl := find(d, key)
+		if dl == nil {
+			t.Errorf("%s: no delta recorded", key)
+			continue
+		}
+		if dl.Class != want {
+			t.Errorf("%s: classified %s, want %s", key, dl.Class, want)
+		}
+	}
+	if d.Regressed != 2 || d.Improved != 2 || d.Changed != 1 {
+		t.Errorf("counts: %+v", d)
+	}
+	// Worst first: the two regressions lead the list.
+	if d.Deltas[0].Class != ClassRegressed || d.Deltas[1].Class != ClassRegressed {
+		t.Errorf("deltas not ordered worst-first: %+v", d.Deltas)
+	}
+}
+
+func TestCompareTolerance(t *testing.T) {
+	base, other := pair()
+	other.Figures[0].Rows[0].Vals[0] = 17.9 // −0.56 % on fig11
+
+	// Tight default tolerance: regression.
+	d, err := Compare(base, other, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressed != 1 {
+		t.Fatalf("0.56%% drift under 1e-6 tol: %+v", d)
+	}
+	// 1 % tolerance absorbs it.
+	d, err = Compare(base, other, DiffOptions{RelTol: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK() || d.Regressed != 0 {
+		t.Fatalf("0.56%% drift over 1%% tol: %+v", d)
+	}
+	// A per-key override narrows just that figure back down.
+	d, err = Compare(base, other, DiffOptions{RelTol: 0.01, PerKey: map[string]float64{"fig11": 0.001}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressed != 1 {
+		t.Fatalf("per-key tolerance ignored: %+v", d)
+	}
+}
+
+func TestCompareScaleMismatch(t *testing.T) {
+	base, other := pair()
+	other.Scale = 4
+	if _, err := Compare(base, other, DiffOptions{}); err == nil || !strings.Contains(err.Error(), "scale") {
+		t.Fatalf("scale mismatch accepted: %v", err)
+	}
+}
+
+func TestCompareMissingKeysGate(t *testing.T) {
+	base, other := pair()
+	other.Kernels = nil // the new run dropped every kernel metric
+	d, err := Compare(base, other, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OK() {
+		t.Fatal("missing keys did not gate")
+	}
+	if len(d.MissingInNew) != 10 {
+		t.Fatalf("missing %d keys, want the 10 kernel metrics", len(d.MissingInNew))
+	}
+
+	// Keys only the new run has are informational, not gating.
+	base2, other2 := pair()
+	other2.Figures = append(other2.Figures, Figure{ID: "fig99", Columns: []string{"x"},
+		Rows: []FigureRow{{Name: "crc32", Vals: []float64{1}}}})
+	d, err = Compare(base2, other2, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK() || len(d.OnlyInNew) != 1 {
+		t.Fatalf("extra keys mishandled: %+v", d)
+	}
+}
+
+func TestCompareConfigChangeNoted(t *testing.T) {
+	base, other := pair()
+	other.ConfigHash = "different"
+	d, err := Compare(base, other, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.ConfigChanged {
+		t.Fatal("config change not flagged")
+	}
+	var sb strings.Builder
+	d.Render(&sb, 0)
+	if !strings.Contains(sb.String(), "config hash differs") {
+		t.Errorf("render does not surface the config change:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "result: OK") {
+		t.Errorf("clean diff did not render OK:\n%s", sb.String())
+	}
+}
+
+func TestRenderTruncation(t *testing.T) {
+	base, other := pair()
+	other.Figures[0].Rows[0].Vals[0] = 15
+	other.Figures[0].Rows[0].Vals[1] = 40
+	other.Figures[1].Rows[0].Vals[0] = 60
+	d, err := Compare(base, other, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	d.Render(&sb, 1)
+	out := sb.String()
+	if !strings.Contains(out, "more deltas") {
+		t.Errorf("truncation note missing:\n%s", out)
+	}
+	if !strings.Contains(out, "result: REGRESSION") {
+		t.Errorf("regression verdict missing:\n%s", out)
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+
+	"powerfits/internal/metrics"
+)
+
+// BenchSchema identifies the fitsbench -json report format;
+// BenchSchemaVersion its revision. Consumers (and the golden tests)
+// reject foreign documents instead of misreading them.
+const (
+	BenchSchema        = "fitsbench-bench"
+	BenchSchemaVersion = 1
+)
+
+// BenchReport is the fitsbench -json payload: the suite's wall clock,
+// per-kernel prepare/run times and the headline/table averages, so
+// successive PRs can track the performance trajectory. The schema
+// markers and manifest attribute the numbers to a reproducible
+// configuration.
+type BenchReport struct {
+	Schema        string            `json:"schema"`
+	SchemaVersion int               `json:"schema_version"`
+	Manifest      *metrics.Manifest `json:"manifest,omitempty"`
+
+	Scale     int                  `json:"scale"`
+	Workers   int                  `json:"workers"`
+	WallSec   float64              `json:"wall_sec"`
+	Kernels   []KernelTiming       `json:"kernels"`
+	Headline  map[string]float64   `json:"headline"`
+	TableAvgs map[string][]float64 `json:"table_averages"`
+}
+
+// NewBenchReport assembles the report for one generated suite.
+func NewBenchReport(man *metrics.Manifest, scale int, suite *Suite) *BenchReport {
+	rep := &BenchReport{
+		Schema:        BenchSchema,
+		SchemaVersion: BenchSchemaVersion,
+		Manifest:      man,
+		Scale:         scale,
+		Workers:       suite.Workers,
+		WallSec:       suite.WallSec,
+		Kernels:       append([]KernelTiming(nil), suite.Timings...),
+		Headline:      make(map[string]float64),
+		TableAvgs:     make(map[string][]float64),
+	}
+	head := suite.Headline()
+	for i, col := range head.Columns {
+		rep.Headline[col] = head.Rows[0].Vals[i]
+	}
+	for _, t := range suite.AllFigures() {
+		rep.TableAvgs[t.ID] = t.Average()
+	}
+	return rep
+}
+
+// Normalize zeroes every volatile field — wall clock, per-kernel
+// timings, worker assignment and count, and the manifest — leaving
+// only the deterministic architectural numbers. Two normalized reports
+// of the same configuration marshal byte-identically regardless of
+// parallelism or machine speed.
+func (r *BenchReport) Normalize() {
+	r.Manifest = nil
+	r.Workers = 0
+	r.WallSec = 0
+	for i := range r.Kernels {
+		r.Kernels[i].PrepareSec = 0
+		r.Kernels[i].RunSec = 0
+		r.Kernels[i].Worker = 0
+	}
+}
+
+// MarshalIndent renders the report as indented JSON with a trailing
+// newline.
+func (r *BenchReport) MarshalIndent() ([]byte, error) {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(blob, '\n'), nil
+}
+
+// WriteFile writes the report as JSON to path.
+func (r *BenchReport) WriteFile(path string) error {
+	blob, err := r.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, blob, 0o644)
+}

@@ -77,10 +77,19 @@ func HashConfig(blobs ...[]byte) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// gitDescribe returns `git describe --always --dirty`, or "" when the
-// tree is not a git checkout or git is unavailable.
-func gitDescribe() string {
-	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+// gitDescribe returns `git describe --always --dirty` for the current
+// directory, or "" when the tree is not a git checkout or git is
+// unavailable.
+func gitDescribe() string { return gitDescribeIn("") }
+
+// gitDescribeIn runs git describe in dir ("" = current directory). The
+// manifest treats source attribution as best-effort: any failure —
+// no git binary, no checkout — degrades to the empty string rather
+// than an error.
+func gitDescribeIn(dir string) string {
+	cmd := exec.Command("git", "describe", "--always", "--dirty")
+	cmd.Dir = dir
+	out, err := cmd.Output()
 	if err != nil {
 		return ""
 	}

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -87,6 +88,34 @@ func TestMerge(t *testing.T) {
 	c.Histogram("h", []float64{5}).Observe(1)
 	if err := a.Merge(c); err == nil {
 		t.Error("merging histograms with different bounds must fail")
+	}
+}
+
+// TestMergeBoundErrors pins both Merge failure modes with their
+// messages — a bound-count mismatch and same-count bounds that diverge
+// in value — and checks a failed merge leaves the target histogram's
+// observations intact.
+func TestMergeBoundErrors(t *testing.T) {
+	dst := NewRegistry()
+	dst.Histogram("h", []float64{1, 2}).Observe(0.5)
+
+	short := NewRegistry()
+	short.Histogram("h", []float64{1}).Observe(0.5)
+	err := dst.Merge(short)
+	if err == nil || !strings.Contains(err.Error(), "bound count mismatch") {
+		t.Fatalf("bound-count mismatch undetected or unclear: %v", err)
+	}
+
+	skew := NewRegistry()
+	skew.Histogram("h", []float64{1, 3}).Observe(0.5)
+	err = dst.Merge(skew)
+	if err == nil || !strings.Contains(err.Error(), "bounds diverge") {
+		t.Fatalf("bound-value divergence undetected or unclear: %v", err)
+	}
+
+	h := dst.Histogram("h", []float64{1, 2})
+	if h.Count() != 1 || h.Sum() != 0.5 {
+		t.Errorf("failed merges corrupted the target histogram: count %d, sum %v", h.Count(), h.Sum())
 	}
 }
 

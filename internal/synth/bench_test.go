@@ -1,0 +1,89 @@
+package synth
+
+import (
+	"testing"
+
+	"powerfits/internal/profile"
+)
+
+// benchProfile collects one profile for the benchmark program, shared
+// across iterations (Synthesize does not mutate it).
+func benchProfile(b *testing.B) *profile.Profile {
+	b.Helper()
+	prof, err := profile.Collect(buildProg(b), 1e6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prof
+}
+
+// BenchmarkSynthesize measures the trace-disabled synthesizer — the
+// path every suite run takes. Its allocs/op must stay at parity with
+// the pre-trace synthesizer: every trace hook is guarded by a nil
+// check, so a nil Options.Trace performs exactly the allocations the
+// untraced code did (compare against BenchmarkSynthesizeTraced for
+// the cost tracing opts in).
+func BenchmarkSynthesize(b *testing.B) {
+	prof := benchProfile(b)
+	opts := DefaultOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Synthesize(prof, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSynthesizeTraced measures the same synthesis with a full
+// decision trace attached (a fresh Trace per iteration, as `powerfits
+// explain` uses it).
+func BenchmarkSynthesizeTraced(b *testing.B) {
+	prof := benchProfile(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := DefaultOptions()
+		opts.Trace = NewTrace()
+		if _, err := Synthesize(prof, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestSynthesizeUntracedAllocsStable pins the overhead contract from
+// the cheap side: the untraced synthesizer must allocate strictly less
+// than the traced one (tracing is genuinely off, not merely discarded),
+// and repeated untraced runs must allocate identically (no hidden
+// trace state leaks into the default path).
+func TestSynthesizeUntracedAllocsStable(t *testing.T) {
+	prof, err := profile.Collect(buildProg(t), 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(opts Options) float64 {
+		return testing.AllocsPerRun(3, func() {
+			if _, err := Synthesize(prof, opts); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	plainA := run(DefaultOptions())
+	plainB := run(DefaultOptions())
+	// Map-growth timing makes alloc counts jitter by a handful of
+	// allocations run to run; anything beyond a couple of percent
+	// would mean trace state leaked into the default path.
+	if diff := plainA - plainB; diff < -0.02*plainA || diff > 0.02*plainA {
+		t.Errorf("untraced synthesis allocs unstable: %v vs %v", plainA, plainB)
+	}
+	traced := testing.AllocsPerRun(3, func() {
+		opts := DefaultOptions()
+		opts.Trace = NewTrace()
+		if _, err := Synthesize(prof, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if traced <= plainA {
+		t.Errorf("traced synthesis (%v allocs) not above untraced (%v): trace hooks look inert", traced, plainA)
+	}
+}

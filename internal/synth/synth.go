@@ -41,6 +41,11 @@ type Options struct {
 	NoTwoOp bool
 	// NoBasePoints disables implied-base memory variants (ablation).
 	NoBasePoints bool
+	// Trace, when non-nil, receives the synthesizer's decision log
+	// (candidate rankings, SIS closure rounds, immediate-mode
+	// assignments, per-width costs). A nil Trace adds no work and no
+	// allocations to the synthesis path.
+	Trace *Trace
 }
 
 // DefaultOptions returns the configuration used by the experiments.
@@ -105,6 +110,17 @@ func Synthesize(prof *profile.Profile, opts Options) (*Synthesis, error) {
 	if opts.ForceK != 0 {
 		lo, hi = opts.ForceK, opts.ForceK
 	}
+	if opts.Trace != nil {
+		opts.Trace.Program = prof.Prog.Name
+		var tot uint64
+		for i := range prof.Prog.Instrs {
+			if prof.Prog.Instrs[i].Op == isa.NOP {
+				continue
+			}
+			tot += prof.Dyn[i] + 1
+		}
+		opts.Trace.TotalWeight = tot
+	}
 	out := &Synthesis{
 		CandidateCost: make(map[int]uint64),
 		CandidateErr:  make(map[int]string),
@@ -114,6 +130,9 @@ func Synthesize(prof *profile.Profile, opts Options) (*Synthesis, error) {
 		cand, err := synthesizeK(prof, k, opts)
 		if err != nil {
 			out.CandidateErr[k] = err.Error()
+			if opts.Trace != nil {
+				opts.Trace.KFor(k).Err = err.Error()
+			}
 			continue
 		}
 		out.CandidateCost[k] = cand.Cost
@@ -127,6 +146,9 @@ func Synthesize(prof *profile.Profile, opts Options) (*Synthesis, error) {
 	}
 	best.CandidateCost = out.CandidateCost
 	best.CandidateErr = out.CandidateErr
+	if opts.Trace != nil {
+		opts.Trace.ChosenK = best.K
+	}
 	return best, nil
 }
 
@@ -181,11 +203,27 @@ func collectStats(p *program.Program, dyn []uint64, opts Options) map[fits.Signa
 	return stats
 }
 
+// prov tags each selected signature with how it earned its opcode
+// point (the paper's BIS/SIS/AIS partition).
+type prov int
+
+const (
+	provBIS prov = iota
+	provSIS
+	provAIS
+)
+
 // synthesizeK builds and evaluates the spec for one opcode width.
 func synthesizeK(prof *profile.Profile, k int, opts Options) (*Synthesis, error) {
 	p := prof.Prog
 	capacity := 1 << k
 	stats := collectStats(p, prof.Dyn, opts)
+	var kt *KTrace
+	var sisRound map[fits.Signature]int
+	if opts.Trace != nil {
+		kt = opts.Trace.KFor(k)
+		sisRound = make(map[fits.Signature]int)
+	}
 
 	// Register window for narrow fields.
 	var window []isa.Reg
@@ -198,18 +236,21 @@ func synthesizeK(prof *profile.Profile, k int, opts Options) (*Synthesis, error)
 			window = prof.RankedRegs()
 		}
 	}
+	if kt != nil {
+		for _, r := range window {
+			kt.Window = append(kt.Window, r.String())
+		}
+	}
 
-	type prov int
-	const (
-		provBIS prov = iota
-		provSIS
-		provAIS
-	)
 	set := make(map[fits.Signature]prov)
 	for _, s := range BaseInstructionSet() {
 		set[s] = provBIS
 	}
 
+	// dictKT is nil during the closure loop's interim specs and set to
+	// kt just before the final buildSpec, so the trace records only the
+	// immediate-mode decisions that survive into the chosen spec.
+	var dictKT *KTrace
 	buildSpec := func() (*fits.Spec, error) {
 		sigs := make([]fits.Signature, 0, len(set))
 		for s := range set {
@@ -229,7 +270,7 @@ func synthesizeK(prof *profile.Profile, k int, opts Options) (*Synthesis, error)
 		if len(points) > capacity {
 			return nil, fmt.Errorf("synth: %d opcode points exceed 2^%d", len(points), k)
 		}
-		assignModes(points, stats, k, opts)
+		assignModes(points, stats, k, opts, dictKT)
 		return fits.NewSpec(p.Name, k, points, window)
 	}
 
@@ -257,9 +298,15 @@ func synthesizeK(prof *profile.Profile, k int, opts Options) (*Synthesis, error)
 		if len(missing) == 0 {
 			break
 		}
+		if kt != nil {
+			kt.noteClosure(iter+1, missing)
+		}
 		for s := range missing {
 			if _, ok := set[s]; !ok {
 				set[s] = provSIS
+				if sisRound != nil {
+					sisRound[s] = iter + 1
+				}
 			}
 		}
 	}
@@ -269,7 +316,8 @@ func synthesizeK(prof *profile.Profile, k int, opts Options) (*Synthesis, error)
 	if budget < 0 {
 		return nil, fmt.Errorf("synth: BIS+SIS of %d signatures exceed 2^%d budget", len(set), k)
 	}
-	for _, cand := range rankedCandidates(stats) {
+	ranked := rankedCandidates(stats)
+	for _, cand := range ranked {
 		if budget == 0 {
 			break
 		}
@@ -279,7 +327,11 @@ func synthesizeK(prof *profile.Profile, k int, opts Options) (*Synthesis, error)
 		set[cand] = provAIS
 		budget--
 	}
+	if kt != nil {
+		kt.noteCandidates(ranked, stats, set, sisRound)
+	}
 
+	dictKT = kt
 	spec, err := buildSpec()
 	if err != nil {
 		return nil, err
@@ -290,6 +342,11 @@ func synthesizeK(prof *profile.Profile, k int, opts Options) (*Synthesis, error)
 	}
 
 	syn := &Synthesis{Spec: spec, K: k, Cost: cost(res, prof.Dyn), DictEntries: spec.DictEntries()}
+	if kt != nil {
+		kt.Cost = syn.Cost
+		kt.Points = spec.UsedPoints()
+		kt.DictEntries = syn.DictEntries
+	}
 	for s, pv := range set {
 		switch pv {
 		case provBIS:
@@ -340,8 +397,9 @@ func rankedCandidates(stats map[fits.Signature]*sigStats) []fits.Signature {
 // assignModes chooses inline vs dictionary encoding for every value
 // field and fills the per-point value tables within the global storage
 // cap, by descending benefit — the paper's utilization-based immediate
-// synthesis.
-func assignModes(points []fits.Point, stats map[fits.Signature]*sigStats, k int, opts Options) {
+// synthesis. A non-nil kt receives one DictDecision per profitable
+// plan.
+func assignModes(points []fits.Point, stats map[fits.Signature]*sigStats, k int, opts Options, kt *KTrace) {
 	if opts.NoDict {
 		return
 	}
@@ -420,7 +478,11 @@ func assignModes(points []fits.Point, stats map[fits.Signature]*sigStats, k int,
 	})
 	remaining := opts.DictCap
 	for _, pl := range plans {
-		if len(pl.values) > remaining {
+		chosen := len(pl.values) <= remaining
+		if kt != nil {
+			kt.noteDict(points[pl.idx].Sig, len(pl.values), pl.benefit, chosen)
+		}
+		if !chosen {
 			continue
 		}
 		points[pl.idx].ImmDict = true

@@ -13,7 +13,7 @@ import (
 
 // buildProg assembles a small but representative program: a hot loop
 // with wide immediates, a rare extended op and predication.
-func buildProg(t *testing.T) *program.Program {
+func buildProg(t testing.TB) *program.Program {
 	t.Helper()
 	b := asm.New("synthprog")
 	b.Words("tab", []uint32{3, 1, 4, 1, 5, 9, 2, 6})
@@ -36,7 +36,7 @@ func buildProg(t *testing.T) *program.Program {
 	return b.MustBuild()
 }
 
-func synthFor(t *testing.T, opts Options) (*profile.Profile, *Synthesis) {
+func synthFor(t testing.TB, opts Options) (*profile.Profile, *Synthesis) {
 	t.Helper()
 	prof, syn, err := SynthesizeProgram(buildProg(t), 1e6, opts)
 	if err != nil {

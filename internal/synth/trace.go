@@ -1,0 +1,197 @@
+package synth
+
+import (
+	"sort"
+
+	"powerfits/internal/isa/fits"
+)
+
+// Trace is the synthesizer's decision log: one KTrace per attempted
+// opcode width recording the SIS closure rounds, the ranked candidate
+// admissions and the immediate-mode assignments, so `powerfits explain`
+// can answer why a signature earned an opcode point and what it bought
+// in dynamically weighted instruction instances.
+//
+// Tracing is opt-in via Options.Trace; a nil trace leaves the
+// synthesizer's hot path untouched (every recording site is guarded by
+// a nil check, and the no-trace path performs exactly the allocations
+// it did before tracing existed — see BenchmarkSynthesize).
+type Trace struct {
+	// Program is the profiled program's name.
+	Program string `json:"program"`
+	// TotalWeight is the sum of per-instruction profile weights
+	// (dynamic count + 1, the synthesizer's ranking unit); candidate
+	// weights are shares of it.
+	TotalWeight uint64 `json:"total_weight"`
+	// ChosenK is the opcode width the cost search selected.
+	ChosenK int `json:"chosen_k"`
+	// Ks holds one entry per attempted opcode width, ascending.
+	Ks []*KTrace `json:"ks"`
+}
+
+// NewTrace returns an empty trace ready to pass via Options.Trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// KFor returns the trace entry for opcode width k, creating it on
+// first use.
+func (t *Trace) KFor(k int) *KTrace {
+	for _, kt := range t.Ks {
+		if kt.K == k {
+			return kt
+		}
+	}
+	kt := &KTrace{K: k, Capacity: 1 << k}
+	t.Ks = append(t.Ks, kt)
+	sort.Slice(t.Ks, func(a, b int) bool { return t.Ks[a].K < t.Ks[b].K })
+	return kt
+}
+
+// Chosen returns the trace of the selected opcode width (nil when the
+// search failed entirely).
+func (t *Trace) Chosen() *KTrace {
+	for _, kt := range t.Ks {
+		if kt.K == t.ChosenK && kt.Err == "" {
+			return kt
+		}
+	}
+	return nil
+}
+
+// KTrace records every decision made while evaluating one opcode
+// width.
+type KTrace struct {
+	K        int    `json:"k"`
+	Capacity int    `json:"capacity"`
+	Err      string `json:"err,omitempty"`
+
+	// Window is the ranked register window, when one was synthesized.
+	Window []string `json:"window,omitempty"`
+	// Closure lists the SIS closure rounds in order.
+	Closure []ClosureRound `json:"closure,omitempty"`
+	// Candidates is the profile-ranked candidate list with each
+	// signature's admission outcome.
+	Candidates []Candidate `json:"candidates,omitempty"`
+	// Dict lists the immediate-dictionary decisions of the final spec.
+	Dict []DictDecision `json:"dict,omitempty"`
+
+	// Cost, Points and DictEntries describe the final spec of this
+	// width (valid when Err is empty).
+	Cost        uint64 `json:"cost,omitempty"`
+	Points      int    `json:"points,omitempty"`
+	DictEntries int    `json:"dict_entries,omitempty"`
+}
+
+// ClosureRound is one SIS closure iteration: the signatures the
+// translator reported missing and the synthesizer added.
+type ClosureRound struct {
+	Round int      `json:"round"`
+	Added []string `json:"added"`
+}
+
+// Candidate admission outcomes.
+const (
+	OutcomeBIS        = "bis"         // fixed base set, carried by every ISA
+	OutcomeSIS        = "sis"         // added by the Turing-completeness closure
+	OutcomeAIS        = "ais"         // admitted by profile benefit
+	OutcomeOverBudget = "over-budget" // ranked below the last free opcode point
+)
+
+// Candidate is one ranked candidate signature and its fate.
+type Candidate struct {
+	// Sig is the signature's display form; Key its injective sort key
+	// (two distinct signatures can render identically).
+	Sig string `json:"sig"`
+	Key string `json:"key"`
+	// Rank is the 1-based position in the profile-benefit ranking
+	// (0 for BIS signatures that never appear in the program).
+	Rank int `json:"rank,omitempty"`
+	// Weight is the dynamically weighted instruction instances this
+	// signature could encode.
+	Weight uint64 `json:"weight"`
+	// Values is the number of distinct value-field contents observed.
+	Values int `json:"values,omitempty"`
+	// Outcome is one of the Outcome* constants.
+	Outcome string `json:"outcome"`
+	// ClosureRound is the SIS round that forced the signature in
+	// (meaningful when Outcome is "sis").
+	ClosureRound int `json:"closure_round,omitempty"`
+}
+
+// DictDecision is one point's immediate-encoding choice: dictionary
+// mode was profitable (benefit EXT halfwords avoided), and either
+// chosen or skipped because the global value-storage cap ran out.
+type DictDecision struct {
+	Sig     string `json:"sig"`
+	Entries int    `json:"entries"`
+	Benefit uint64 `json:"benefit"`
+	Chosen  bool   `json:"chosen"`
+}
+
+// record helpers — every call site in the synthesizer guards on a nil
+// *KTrace, so the untraced path never touches these.
+
+// noteClosure appends one closure round with the added signatures
+// rendered and sorted.
+func (kt *KTrace) noteClosure(round int, added map[fits.Signature]bool) {
+	names := make([]string, 0, len(added))
+	for s := range added {
+		names = append(names, s.String())
+	}
+	sort.Strings(names)
+	kt.Closure = append(kt.Closure, ClosureRound{Round: round, Added: names})
+}
+
+// noteCandidates records the ranked candidate list against the final
+// provenance assignment, then appends any BIS signatures the profile
+// never exercised (weight 0).
+func (kt *KTrace) noteCandidates(ranked []fits.Signature, stats map[fits.Signature]*sigStats,
+	set map[fits.Signature]prov, sisRound map[fits.Signature]int) {
+	seen := make(map[fits.Signature]bool, len(ranked))
+	for i, sig := range ranked {
+		seen[sig] = true
+		c := Candidate{
+			Sig:    sig.String(),
+			Key:    sig.Key(),
+			Rank:   i + 1,
+			Weight: stats[sig].weight,
+			Values: len(stats[sig].values),
+		}
+		switch p, ok := set[sig]; {
+		case ok && p == provBIS:
+			c.Outcome = OutcomeBIS
+		case ok && p == provSIS:
+			c.Outcome = OutcomeSIS
+			c.ClosureRound = sisRound[sig]
+		case ok:
+			c.Outcome = OutcomeAIS
+		default:
+			c.Outcome = OutcomeOverBudget
+		}
+		kt.Candidates = append(kt.Candidates, c)
+	}
+	// Set members outside the ranked list still occupy points: BIS
+	// signatures the program never uses, and SIS signatures that only
+	// exist as lowering-helper shapes (the translator demanded them,
+	// but no original instruction carries them). They get weight 0.
+	extra := make([]fits.Signature, 0)
+	for sig := range set {
+		if !seen[sig] {
+			extra = append(extra, sig)
+		}
+	}
+	sort.Slice(extra, func(a, b int) bool { return extra[a].Key() < extra[b].Key() })
+	for _, sig := range extra {
+		c := Candidate{Sig: sig.String(), Key: sig.Key(), Outcome: OutcomeBIS}
+		if set[sig] == provSIS {
+			c.Outcome = OutcomeSIS
+			c.ClosureRound = sisRound[sig]
+		}
+		kt.Candidates = append(kt.Candidates, c)
+	}
+}
+
+// noteDict records one immediate-dictionary plan.
+func (kt *KTrace) noteDict(sig fits.Signature, entries int, benefit uint64, chosen bool) {
+	kt.Dict = append(kt.Dict, DictDecision{
+		Sig: sig.String(), Entries: entries, Benefit: benefit, Chosen: chosen})
+}

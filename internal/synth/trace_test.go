@@ -1,0 +1,151 @@
+package synth
+
+import (
+	"encoding/json"
+	"testing"
+
+	"powerfits/internal/isa"
+	"powerfits/internal/isa/fits"
+)
+
+// tracedSynth runs one traced synthesis of the test program.
+func tracedSynth(t *testing.T) (*Trace, *Synthesis) {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Trace = NewTrace()
+	_, syn := synthFor(t, opts)
+	return opts.Trace, syn
+}
+
+func TestTraceCoversSearch(t *testing.T) {
+	tr, syn := tracedSynth(t)
+	if tr.Program != "synthprog" {
+		t.Errorf("trace program %q", tr.Program)
+	}
+	if tr.ChosenK != syn.K {
+		t.Errorf("trace chose k=%d, synthesis k=%d", tr.ChosenK, syn.K)
+	}
+	if tr.TotalWeight == 0 {
+		t.Error("total weight not recorded")
+	}
+	// Every attempted width must appear exactly once, matching the
+	// synthesis candidate maps.
+	if got, want := len(tr.Ks), len(syn.CandidateCost)+len(syn.CandidateErr); got != want {
+		t.Errorf("trace covers %d widths, synthesis tried %d", got, want)
+	}
+	for _, kt := range tr.Ks {
+		if e, ok := syn.CandidateErr[kt.K]; ok {
+			if kt.Err != e {
+				t.Errorf("k=%d trace err %q, synthesis %q", kt.K, kt.Err, e)
+			}
+			continue
+		}
+		if kt.Cost != syn.CandidateCost[kt.K] {
+			t.Errorf("k=%d trace cost %d, synthesis %d", kt.K, kt.Cost, syn.CandidateCost[kt.K])
+		}
+	}
+	if tr.Chosen() == nil {
+		t.Fatal("no chosen-width trace")
+	}
+}
+
+// TestTraceProvenanceMatchesSynthesis asserts the candidate outcomes
+// reproduce the BIS/SIS/AIS partition of the chosen spec exactly.
+func TestTraceProvenanceMatchesSynthesis(t *testing.T) {
+	tr, syn := tracedSynth(t)
+	kt := tr.Chosen()
+	byOutcome := map[string]int{}
+	seen := map[string]bool{}
+	for _, c := range kt.Candidates {
+		if seen[c.Key] {
+			t.Errorf("candidate %q recorded twice", c.Key)
+		}
+		seen[c.Key] = true
+		byOutcome[c.Outcome]++
+	}
+	if byOutcome[OutcomeBIS] != len(syn.BIS) {
+		t.Errorf("trace has %d BIS candidates, synthesis %d", byOutcome[OutcomeBIS], len(syn.BIS))
+	}
+	if byOutcome[OutcomeSIS] != len(syn.SIS) {
+		t.Errorf("trace has %d SIS candidates, synthesis %d", byOutcome[OutcomeSIS], len(syn.SIS))
+	}
+	if byOutcome[OutcomeAIS] != len(syn.AIS) {
+		t.Errorf("trace has %d AIS candidates, synthesis %d", byOutcome[OutcomeAIS], len(syn.AIS))
+	}
+	// The rare QADD has no rewrite path, so it must be traced as an
+	// SIS admission with its closure round.
+	qadd := fits.Signature{Op: isa.QADD, Cond: isa.AL}
+	found := false
+	for _, c := range kt.Candidates {
+		if c.Key == qadd.Key() {
+			found = true
+			if c.Outcome != OutcomeSIS {
+				t.Errorf("QADD outcome %q, want sis", c.Outcome)
+			}
+		}
+	}
+	if !found {
+		t.Error("QADD missing from trace candidates")
+	}
+	if len(kt.Closure) == 0 {
+		t.Error("no closure rounds traced despite SIS additions")
+	}
+}
+
+// TestTraceDictDecisions asserts the chosen width's dictionary log
+// matches the spec: chosen decisions sum to DictEntries and every
+// traced signature exists as a point.
+func TestTraceDictDecisions(t *testing.T) {
+	tr, syn := tracedSynth(t)
+	kt := tr.Chosen()
+	entries := 0
+	for _, d := range kt.Dict {
+		if d.Benefit == 0 {
+			t.Errorf("dict plan %q traced with zero benefit", d.Sig)
+		}
+		if d.Chosen {
+			entries += d.Entries
+		}
+	}
+	if entries != syn.DictEntries {
+		t.Errorf("trace dict entries %d, synthesis %d", entries, syn.DictEntries)
+	}
+	if kt.Points != syn.Spec.UsedPoints() {
+		t.Errorf("trace points %d, spec %d", kt.Points, syn.Spec.UsedPoints())
+	}
+}
+
+// TestTraceUnchangedSynthesis asserts tracing is purely observational:
+// the synthesized spec is identical with and without a trace attached.
+func TestTraceUnchangedSynthesis(t *testing.T) {
+	_, plain := synthFor(t, DefaultOptions())
+	_, traced := tracedSynth(t)
+	if plain.K != traced.K || plain.Cost != traced.Cost || plain.DictEntries != traced.DictEntries {
+		t.Fatalf("tracing changed synthesis: %v vs %v", plain, traced)
+	}
+	for i := range plain.Spec.Points {
+		pa, pb := plain.Spec.Points[i], traced.Spec.Points[i]
+		if pa.Kind != pb.Kind || pa.Sig != pb.Sig || pa.ImmDict != pb.ImmDict {
+			t.Fatalf("point %d differs under tracing", i)
+		}
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr, _ := tracedSynth(t)
+	blob, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Program != tr.Program || back.ChosenK != tr.ChosenK || len(back.Ks) != len(tr.Ks) {
+		t.Fatalf("round trip lost structure: %+v", back)
+	}
+	kt, bt := tr.Chosen(), back.Chosen()
+	if bt == nil || len(bt.Candidates) != len(kt.Candidates) || len(bt.Dict) != len(kt.Dict) {
+		t.Fatal("round trip lost chosen-width detail")
+	}
+}
