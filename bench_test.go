@@ -241,6 +241,56 @@ func BenchmarkTimingPipeline(b *testing.B) {
 	}
 }
 
+// benchSteadyState measures the predecoded timing loop in isolation:
+// per-iteration construction (cache, meter, machine) runs with the timer
+// stopped, so ns/op is the cost of one full pipeline run over the shared
+// predecode table and allocs/op must be exactly 0 — the steady-state
+// cycle loop performs no heap allocations (Machine.Output is pre-sized
+// for the kernel's emitted words). cycles/s is the headline throughput
+// the predecode layer is gated on (see DESIGN.md §9).
+func benchSteadyState(b *testing.B, s *sim.Setup, cfg sim.Config) {
+	cal := power.DefaultCalibration()
+	pc := cpu.DefaultPipeConfig()
+	prog, im, dec := s.Prog, s.ArmImage, s.ArmDecoded
+	if cfg.ISA == sim.ISAFITS {
+		prog, im, dec = s.Fits.Lowered, s.Fits.Image, s.FitsDecoded
+	}
+	var res cpu.PipeResult
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := cache.MustNew(cfg.Cache)
+		meter := power.MustNewMeter(cfg.Cache, cal)
+		port := sim.NewFetchPort(c, meter, im, pc.BlockBytes)
+		m := cpu.New(prog, cpu.ImageLayout(im))
+		m.Output = make([]uint32, 0, 64)
+		b.StartTimer()
+		if err := cpu.RunPipelineInto(m, pc, port, dec, &res); err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+	b.ReportMetric(float64(cycles)/float64(b.N), "cycles/op")
+}
+
+// BenchmarkPipelineSteadyState is the pipeline's cycles/sec benchmark
+// pair, one per ISA: the dominant inner loop of every experiment. ci.sh
+// runs it with -benchtime=1x asserting 0 allocs/op, and
+// `fitsbench -pipebench` emits its numbers as BENCH_pipeline.json so
+// successive PRs can chart the perf trajectory.
+func BenchmarkPipelineSteadyState(b *testing.B) {
+	s, err := sim.Prepare(kernels.MustGet("crc32"), 1, synth.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("ARM16", func(b *testing.B) { benchSteadyState(b, s, sim.ARM16) })
+	b.Run("FITS8", func(b *testing.B) { benchSteadyState(b, s, sim.FITS8) })
+}
+
 // BenchmarkSynthesize measures the full instruction-set synthesis flow
 // (k-search, SIS closure, AIS fill, dictionary assignment).
 func BenchmarkSynthesize(b *testing.B) {

@@ -31,6 +31,22 @@ if ! echo "$bench" | grep -q "BenchmarkFetchPort.* 0 allocs/op"; then
     exit 1
 fi
 
+echo "== benchmark smoke: predecoded timing loop stays allocation-free =="
+# The steady-state cycle loop (RunPipelineInto over the shared predecode
+# table) must perform zero heap allocations; both ISA configurations are
+# checked.
+bench=$(go test -run=NONE -bench=BenchmarkPipelineSteadyState -benchtime=1x -benchmem .)
+echo "$bench"
+if [ "$(echo "$bench" | grep -c "BenchmarkPipelineSteadyState/.* 0 allocs/op")" -ne 2 ]; then
+    echo "ci.sh: pipeline steady-state cycle loop allocates" >&2
+    exit 1
+fi
+
+echo "== perf trajectory: pipeline benchmark record =="
+# Refreshes BENCH_pipeline.json (cycles/sec, ns/op, allocs/op of the
+# timing loop) so successive PRs can chart timing-loop regressions.
+go run ./cmd/fitsbench -pipebench BENCH_pipeline.json
+
 echo "== regression gate: scale-1 suite vs committed baseline =="
 # Archives a fresh scale-1 run and diffs it against testdata/baseline.json.
 # Any figure or per-kernel metric moving in the wrong direction fails the

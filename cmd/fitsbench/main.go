@@ -15,6 +15,7 @@
 //	fitsbench -archive .powerfits/runs # archive the full run record (see `powerfits diff`)
 //	fitsbench -metrics suite.json -phases suite.csv [-window N]
 //	fitsbench -cpuprofile cpu.pprof -memprofile mem.pprof -trace run.trace
+//	fitsbench -pipebench BENCH_pipeline.json   # timing-loop perf trajectory record
 package main
 
 import (
@@ -120,8 +121,17 @@ func main() {
 		cpuProf     = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 		memProf     = flag.String("memprofile", "", "write a pprof heap profile to this path")
 		traceOut    = flag.String("trace", "", "write a runtime/trace execution trace to this path")
+		pipeBench   = flag.String("pipebench", "", "benchmark the predecoded timing loop and write BENCH_pipeline.json-style output to this path, then exit")
+		pipeKernel  = flag.String("pipebench-kernel", "crc32", "kernel the -pipebench loop runs")
 	)
 	flag.Parse()
+
+	if *pipeBench != "" {
+		if err := runPipeBench(*pipeBench, *pipeKernel, *scale); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	stop, err := metrics.StartProfiles(metrics.ProfileConfig{
 		CPUProfile: *cpuProf, MemProfile: *memProf, Trace: *traceOut})

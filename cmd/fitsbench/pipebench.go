@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"powerfits/internal/cache"
+	"powerfits/internal/cpu"
+	"powerfits/internal/kernels"
+	"powerfits/internal/power"
+	"powerfits/internal/sim"
+	"powerfits/internal/synth"
+)
+
+// PipeBenchSchema tags BENCH_pipeline.json records.
+const PipeBenchSchema = "powerfits-pipebench/v1"
+
+// pipeBenchEntry is one benchmark row: the steady-state timing loop for
+// one configuration, measured exactly like BenchmarkPipelineSteadyState
+// (construction outside the timer, shared predecode table, reused
+// result).
+type pipeBenchEntry struct {
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	CyclesPerOp  float64 `json:"cycles_per_op"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	Iterations   int     `json:"iterations"`
+}
+
+// pipeBenchReport is the perf-trajectory record successive PRs diff to
+// catch timing-loop regressions (see DESIGN.md §9).
+type pipeBenchReport struct {
+	Schema  string           `json:"schema"`
+	Kernel  string           `json:"kernel"`
+	Scale   int              `json:"scale"`
+	GOOS    string           `json:"goos"`
+	GOARCH  string           `json:"goarch"`
+	CPUs    int              `json:"cpus"`
+	Entries []pipeBenchEntry `json:"entries"`
+}
+
+// pipeBenchLoop is the measured body: one full pipeline run per op over
+// the shared predecode table, with cache/meter/machine construction
+// excluded from the timer so ns/op isolates the cycle loop. It reports
+// cycles/s and cycles/op via b.ReportMetric, which testing.Benchmark
+// surfaces in Result.Extra.
+func pipeBenchLoop(b *testing.B, s *sim.Setup, cfg sim.Config) {
+	cal := power.DefaultCalibration()
+	pc := cpu.DefaultPipeConfig()
+	prog, im, dec := s.Prog, s.ArmImage, s.ArmDecoded
+	if cfg.ISA == sim.ISAFITS {
+		prog, im, dec = s.Fits.Lowered, s.Fits.Image, s.FitsDecoded
+	}
+	var res cpu.PipeResult
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := cache.MustNew(cfg.Cache)
+		meter := power.MustNewMeter(cfg.Cache, cal)
+		port := sim.NewFetchPort(c, meter, im, pc.BlockBytes)
+		m := cpu.New(prog, cpu.ImageLayout(im))
+		m.Output = make([]uint32, 0, 64)
+		b.StartTimer()
+		if err := cpu.RunPipelineInto(m, pc, port, dec, &res); err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+	b.ReportMetric(float64(cycles)/float64(b.N), "cycles/op")
+}
+
+// runPipeBench benchmarks the timing loop for the paper's two headline
+// configurations and writes the JSON trajectory record to path.
+func runPipeBench(path, kernel string, scale int) error {
+	if scale <= 0 {
+		scale = 1
+	}
+	s, err := sim.Prepare(kernels.MustGet(kernel), scale, synth.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	rep := pipeBenchReport{
+		Schema: PipeBenchSchema,
+		Kernel: kernel,
+		Scale:  scale,
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+	}
+	for _, cfg := range []sim.Config{sim.ARM16, sim.FITS8} {
+		cfg := cfg
+		r := testing.Benchmark(func(b *testing.B) { pipeBenchLoop(b, s, cfg) })
+		rep.Entries = append(rep.Entries, pipeBenchEntry{
+			Name:         "PipelineSteadyState/" + cfg.Name,
+			NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp:  r.AllocsPerOp(),
+			BytesPerOp:   r.AllocedBytesPerOp(),
+			CyclesPerOp:  r.Extra["cycles/op"],
+			CyclesPerSec: r.Extra["cycles/s"],
+			Iterations:   r.N,
+		})
+		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %14.0f cycles/s %4d allocs/op\n",
+			rep.Entries[len(rep.Entries)-1].Name,
+			rep.Entries[len(rep.Entries)-1].NsPerOp,
+			rep.Entries[len(rep.Entries)-1].CyclesPerSec,
+			r.AllocsPerOp())
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}

@@ -2,6 +2,8 @@ package cpu
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 
 	"powerfits/internal/isa"
 )
@@ -45,6 +47,41 @@ type PipeConfig struct {
 	MispredictPenalty int
 	// MaxInstrs bounds execution (0 = unlimited).
 	MaxInstrs uint64
+}
+
+// Validate checks the configuration for structural errors: non-positive
+// issue width, a fetch-bus width that is zero or not a power of two, or
+// negative hazard latencies (which would move regReady deadlines into
+// the past and silently corrupt the interlock model).
+func (cfg PipeConfig) Validate() error {
+	switch {
+	case cfg.IssueWidth <= 0:
+		return fmt.Errorf("cpu: invalid pipeline config: IssueWidth %d (must be positive)", cfg.IssueWidth)
+	case cfg.BlockBytes <= 0 || cfg.BlockBytes&(cfg.BlockBytes-1) != 0:
+		return fmt.Errorf("cpu: invalid pipeline config: BlockBytes %d (must be a positive power of two)", cfg.BlockBytes)
+	case cfg.LoadUseDelay < 0:
+		return fmt.Errorf("cpu: invalid pipeline config: LoadUseDelay %d (must be non-negative)", cfg.LoadUseDelay)
+	case cfg.MulLatency < 0:
+		return fmt.Errorf("cpu: invalid pipeline config: MulLatency %d (must be non-negative)", cfg.MulLatency)
+	case cfg.MispredictPenalty < 0:
+		return fmt.Errorf("cpu: invalid pipeline config: MispredictPenalty %d (must be non-negative)", cfg.MispredictPenalty)
+	}
+	return nil
+}
+
+// cycleBudget returns the deadlock guard for a run: generous slack over
+// the instruction budget, saturating instead of wrapping when MaxInstrs
+// is near the uint64 ceiling (the product would otherwise overflow into
+// a tiny budget and abort healthy runs).
+func (cfg PipeConfig) cycleBudget() uint64 {
+	if cfg.MaxInstrs == 0 {
+		return 1 << 40
+	}
+	const slack = uint64(1) << 20
+	if cfg.MaxInstrs > (math.MaxUint64-slack)/64 {
+		return math.MaxUint64
+	}
+	return cfg.MaxInstrs*64 + slack
 }
 
 // DefaultPipeConfig returns the SA-1100-class configuration used by all
@@ -97,17 +134,51 @@ func (r *PipeResult) IPC() float64 {
 // Concurrent RunPipeline calls are safe as long as each has its own
 // machine and port: the run mutates only those two (the program and
 // layout behind them are read-only).
+//
+// RunPipeline predecodes the program on entry; callers running the same
+// image repeatedly should Predecode once and use RunPipelineDecoded.
 func RunPipeline(m *Machine, cfg PipeConfig, port FetchPort) (*PipeResult, error) {
-	if cfg.IssueWidth <= 0 || cfg.BlockBytes <= 0 || cfg.BlockBytes&(cfg.BlockBytes-1) != 0 {
-		return nil, fmt.Errorf("cpu: invalid pipeline config %+v", cfg)
+	return RunPipelineDecoded(m, cfg, port, Predecode(m.prog, m.layout))
+}
+
+// RunPipelineDecoded is RunPipeline over a prebuilt predecode table,
+// which must have been built from the machine's exact program and
+// layout. The table is read-only: any number of concurrent runs may
+// share one.
+func RunPipelineDecoded(m *Machine, cfg PipeConfig, port FetchPort, d *Decoded) (*PipeResult, error) {
+	var res PipeResult
+	if err := RunPipelineInto(m, cfg, port, d, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// RunPipelineInto is RunPipelineDecoded writing into a caller-provided
+// result (which it resets first). The run itself performs no heap
+// allocations, so a caller that reuses res — and pre-sizes
+// Machine.Output when the program emits — keeps the whole timing loop
+// allocation-free (pinned by TestPipelineSteadyStateZeroAlloc and the
+// ci.sh benchmark smoke).
+func RunPipelineInto(m *Machine, cfg PipeConfig, port FetchPort, d *Decoded, res *PipeResult) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if err := d.check(m); err != nil {
+		return err
 	}
 	if port == nil {
 		port = NullFetchPort
 	}
 	m.MaxInstrs = cfg.MaxInstrs
 
-	var res PipeResult
+	*res = PipeResult{}
+	recs := d.Instrs
+	if m.PCIdx < 0 || m.PCIdx >= len(recs) {
+		return fmt.Errorf("cpu: entry PC index %d out of range", m.PCIdx)
+	}
 	blockMask := ^uint32(cfg.BlockBytes - 1)
+	latLoad := uint64(1 + cfg.LoadUseDelay)
+	latMul := uint64(1 + cfg.MulLatency)
 
 	// Fetch state: [fStart,fEnd) is the contiguous fetched region the
 	// issue stage may consume. fetchBusy counts remaining miss-stall
@@ -123,22 +194,19 @@ func RunPipeline(m *Machine, cfg PipeConfig, port FetchPort) (*PipeResult, error
 		fetchBusy = 0
 		hasInflight = false
 	}
-	redirect(m.layout.AddrOf(m.PCIdx))
+	redirect(recs[m.PCIdx].Addr)
 
-	// regReady[r] is the first cycle a consumer of r may issue.
-	var regReady [isa.NumRegs + 1]uint64 // +1: flags pseudo-register
-	const flagsReg = isa.NumRegs
+	// regReady[r] is the first cycle a consumer of r may issue; index
+	// flagsReg is the NZCV pseudo-register.
+	var regReady [isa.NumRegs + 1]uint64
 
 	var cycle uint64
-	maxCycles := uint64(1) << 40
-	if cfg.MaxInstrs > 0 {
-		maxCycles = cfg.MaxInstrs*64 + 1<<20
-	}
+	maxCycles := cfg.cycleBudget()
 
 	for !m.Halted {
 		cycle++
 		if cycle > maxCycles {
-			return nil, fmt.Errorf("cpu: cycle budget exhausted (deadlock?)")
+			return fmt.Errorf("cpu: cycle budget exhausted (deadlock?)")
 		}
 
 		// ---- Fetch stage ----
@@ -165,10 +233,10 @@ func RunPipeline(m *Machine, cfg PipeConfig, port FetchPort) (*PipeResult, error
 			// Demand exactly the bytes the issue stage could consume
 			// this cycle: the next IssueWidth instructions.
 			last := m.PCIdx + cfg.IssueWidth - 1
-			if last >= len(m.prog.Instrs) {
-				last = len(m.prog.Instrs) - 1
+			if last >= len(recs) {
+				last = len(recs) - 1
 			}
-			need := m.layout.AddrOf(last) + uint32(m.layout.SizeOf(last))
+			need := recs[last].End
 			if fEnd < need {
 				blk := fEnd & blockMask
 				if fEnd == fStart {
@@ -193,37 +261,30 @@ func RunPipeline(m *Machine, cfg PipeConfig, port FetchPort) (*PipeResult, error
 		stallCause := &res.ZeroIssueHazard
 		for slot := 0; slot < cfg.IssueWidth && !m.Halted; slot++ {
 			idx := m.PCIdx
-			in := &m.prog.Instrs[idx]
-			a := m.layout.AddrOf(idx)
-			end := a + uint32(m.layout.SizeOf(idx))
-			if a < fStart || end > fEnd {
+			rec := &recs[idx]
+			if rec.Addr < fStart || rec.End > fEnd {
 				stallCause = &res.ZeroIssueFetch
 				break // bytes not fetched yet
 			}
 
 			// Structural hazards.
-			cls := in.Op.Class()
-			isMem := cls == isa.ClassMem || cls == isa.ClassLit || cls == isa.ClassStack
-			if isMem && memUsed {
+			fl := rec.Flags
+			if fl&DecMem != 0 && memUsed {
 				break
 			}
-			if cls == isa.ClassMul && mulUsed {
+			if fl&DecMul != 0 && mulUsed {
 				break
 			}
 
-			// Data hazards: every used register (and flags for
-			// predicated or flag-reading ops) must be ready.
-			uses := in.Uses()
+			// Data hazards: every used register (and, via bit flagsReg,
+			// the NZCV flags for predicated or flag-reading ops) must be
+			// ready. The mask walk visits only the set bits.
 			ready := true
-			for r := 0; r < isa.NumRegs; r++ {
-				if uses&(1<<r) != 0 && regReady[r] > cycle {
+			for u := rec.Uses; u != 0; u &= u - 1 {
+				if regReady[bits.TrailingZeros32(u)] > cycle {
 					ready = false
 					break
 				}
-			}
-			if ready && (in.Predicated() || in.Op == isa.ADC || in.Op == isa.SBC) &&
-				regReady[flagsReg] > cycle {
-				ready = false
 			}
 			if !ready {
 				break
@@ -232,44 +293,38 @@ func RunPipeline(m *Machine, cfg PipeConfig, port FetchPort) (*PipeResult, error
 			// Execute.
 			stepRes, err := m.Step()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			res.Instrs++
 			issued++
-			if isMem {
+			if fl&DecMem != 0 {
 				memUsed = true
 			}
-			if cls == isa.ClassMul {
+			if fl&DecMul != 0 {
 				mulUsed = true
 			}
 
 			// Writeback latencies.
 			if stepRes.Executed {
-				defs := in.Defs()
 				lat := uint64(1)
-				switch {
-				case in.Op.IsLoad():
-					lat = uint64(1 + cfg.LoadUseDelay)
-				case cls == isa.ClassMul:
-					lat = uint64(1 + cfg.MulLatency)
+				if fl&DecLoad != 0 {
+					lat = latLoad
+				} else if fl&DecMul != 0 {
+					lat = latMul
 				}
-				for r := 0; r < isa.NumRegs; r++ {
-					if defs&(1<<r) != 0 {
-						regReady[r] = cycle + lat
-					}
+				wb := cycle + lat
+				for dm := uint32(rec.Defs); dm != 0; dm &= dm - 1 {
+					regReady[bits.TrailingZeros32(dm)] = wb
 				}
-				if in.SetFlags || in.Op.IsCompare() {
+				if fl&DecSetsFlags != 0 {
 					regReady[flagsReg] = cycle + 1
 				}
 			}
 
 			// Control flow.
-			if cls == isa.ClassBranch || (in.Predicated() && in.Op.IsBranch()) {
+			if fl&DecBranch != 0 {
 				res.Branches++
-				predTaken := true
-				if in.Op == isa.BC {
-					predTaken = in.TargetIdx <= idx // backward taken, forward not
-				}
+				predTaken := fl&DecPredTaken != 0
 				if stepRes.Taken {
 					res.Taken++
 				}
@@ -278,7 +333,7 @@ func RunPipeline(m *Machine, cfg PipeConfig, port FetchPort) (*PipeResult, error
 					bubble += cfg.MispredictPenalty
 				}
 				if stepRes.Taken || predTaken != stepRes.Taken {
-					redirect(m.layout.AddrOf(m.PCIdx))
+					redirect(recs[m.PCIdx].Addr)
 					slot = cfg.IssueWidth // stop issuing this cycle
 				}
 			}
@@ -304,5 +359,5 @@ func RunPipeline(m *Machine, cfg PipeConfig, port FetchPort) (*PipeResult, error
 
 	res.Cycles = cycle
 	res.Output = m.Output
-	return &res, nil
+	return nil
 }

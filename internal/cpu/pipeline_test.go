@@ -212,15 +212,29 @@ func TestPipeConfigValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bad := []PipeConfig{
-		{IssueWidth: 0, BlockBytes: 4},
-		{IssueWidth: 2, BlockBytes: 0},
-		{IssueWidth: 2, BlockBytes: 6}, // not a power of two
+	bad := []struct {
+		name string
+		cfg  PipeConfig
+	}{
+		{"zero issue width", PipeConfig{IssueWidth: 0, BlockBytes: 4}},
+		{"negative issue width", PipeConfig{IssueWidth: -1, BlockBytes: 4}},
+		{"zero block bytes", PipeConfig{IssueWidth: 2, BlockBytes: 0}},
+		{"non-power-of-two block bytes", PipeConfig{IssueWidth: 2, BlockBytes: 6}},
+		{"negative block bytes", PipeConfig{IssueWidth: 2, BlockBytes: -4}},
+		{"negative load-use delay", PipeConfig{IssueWidth: 2, BlockBytes: 4, LoadUseDelay: -1}},
+		{"negative mul latency", PipeConfig{IssueWidth: 2, BlockBytes: 4, MulLatency: -2}},
+		{"negative mispredict penalty", PipeConfig{IssueWidth: 2, BlockBytes: 4, MispredictPenalty: -1}},
 	}
-	for _, cfg := range bad {
-		if _, err := RunPipeline(New(p, ImageLayout(im)), cfg, nil); err == nil {
-			t.Errorf("config %+v accepted", cfg)
+	for _, tc := range bad {
+		if err := tc.cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.cfg)
 		}
+		if _, err := RunPipeline(New(p, ImageLayout(im)), tc.cfg, nil); err == nil {
+			t.Errorf("%s: RunPipeline accepted %+v", tc.name, tc.cfg)
+		}
+	}
+	if err := DefaultPipeConfig().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
 	}
 }
 

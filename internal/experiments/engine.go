@@ -8,6 +8,10 @@
 //   - sim.Setup is immutable after Prepare; Setup.Run builds all
 //     mutable state (cache.Cache, power.Meter, cpu.Machine, layout)
 //     per call.
+//   - the predecoded instruction tables (Setup.ArmDecoded /
+//     Setup.FitsDecoded, see cpu.Predecode) are built once in Prepare
+//     and shared read-only by every configuration run of a kernel —
+//     the timing pipeline only indexes them.
 //   - program.Program and program.Image are read-only during runs; the
 //     fetch port aliases Image.Text without copying.
 //   - cache.Cache and power.Meter are single-owner (one per run) and

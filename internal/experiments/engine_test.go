@@ -75,6 +75,34 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestSuiteSharesPredecodeTables asserts every engine-produced Setup
+// carries the predecode tables built in Prepare, so the four
+// configuration runs (and any rerun over the same Setup) index one
+// shared table per image instead of re-deriving instruction metadata.
+func TestSuiteSharesPredecodeTables(t *testing.T) {
+	suite, err := RunSuite(Options{Scale: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range suite.Setups {
+		if s.ArmDecoded == nil || s.FitsDecoded == nil {
+			t.Fatalf("%s: setup missing predecode tables", s.Kernel.Name)
+		}
+		if s.ArmDecoded.Program() != s.Prog {
+			t.Errorf("%s: ARM table not built from the baseline program", s.Kernel.Name)
+		}
+		if s.FitsDecoded.Program() != s.Fits.Lowered {
+			t.Errorf("%s: FITS table not built from the lowered program", s.Kernel.Name)
+		}
+		if n := len(s.ArmDecoded.Instrs); n != len(s.Prog.Instrs) {
+			t.Errorf("%s: ARM table covers %d/%d instructions", s.Kernel.Name, n, len(s.Prog.Instrs))
+		}
+		if n := len(s.FitsDecoded.Instrs); n != len(s.Fits.Lowered.Instrs) {
+			t.Errorf("%s: FITS table covers %d/%d instructions", s.Kernel.Name, n, len(s.Fits.Lowered.Instrs))
+		}
+	}
+}
+
 // TestSuiteMetricsRegistry asserts the engine publishes per-kernel
 // timing through the merged run-wide registry: every kernel's prepare
 // gauge and per-config run gauges are present, and the engine

@@ -77,6 +77,14 @@ type Setup struct {
 	Synth    *synth.Synthesis
 	Fits     *translate.Result
 	Thumb    *thumb.Sizing
+
+	// ArmDecoded and FitsDecoded are the predecoded static-instruction
+	// tables (cpu.Predecode) for the two target images. They are built
+	// once in Prepare and shared read-only by every configuration run
+	// and engine worker, so the timing pipeline never re-derives
+	// per-instruction metadata per cycle.
+	ArmDecoded  *cpu.Decoded
+	FitsDecoded *cpu.Decoded
 }
 
 // Prepare builds, profiles, synthesizes and translates one kernel.
@@ -107,7 +115,10 @@ func Prepare(k kernels.Kernel, scale int, opts synth.Options) (*Setup, error) {
 		return nil, fmt.Errorf("sim: %s: thumb: %w", k.Name, err)
 	}
 	return &Setup{Kernel: k, Scale: scale, Prog: p, ArmImage: armIm,
-		Profile: prof, Synth: syn, Fits: res, Thumb: ts}, nil
+		Profile: prof, Synth: syn, Fits: res, Thumb: ts,
+		ArmDecoded:  cpu.Predecode(p, cpu.ImageLayout(armIm)),
+		FitsDecoded: cpu.Predecode(res.Lowered, cpu.ImageLayout(res.Image)),
+	}, nil
 }
 
 // PrepareByName is Prepare for a kernel name with default options.
@@ -248,11 +259,12 @@ func (s *Setup) Run(cfg Config, cal power.Calibration) (*Result, error) {
 func (s *Setup) RunObserved(cfg Config, cal power.Calibration, opt ObserveOptions) (*Result, error) {
 	var prog *program.Program
 	var im *program.Image
+	var dec *cpu.Decoded
 	switch cfg.ISA {
 	case ISAARM:
-		prog, im = s.Prog, s.ArmImage
+		prog, im, dec = s.Prog, s.ArmImage, s.ArmDecoded
 	case ISAFITS:
-		prog, im = s.Fits.Lowered, s.Fits.Image
+		prog, im, dec = s.Fits.Lowered, s.Fits.Image, s.FitsDecoded
 	}
 	c, err := cache.New(cfg.Cache)
 	if err != nil {
@@ -282,7 +294,13 @@ func (s *Setup) RunObserved(cfg Config, cal power.Calibration, opt ObserveOption
 		obs = sampler
 	}
 	port := NewObservedFetchPort(c, meter, im, pc.BlockBytes, obs)
-	pipe, err := cpu.RunPipeline(m, pc, port)
+	if dec == nil {
+		// Setups constructed outside Prepare (tests, literals) have no
+		// shared table; predecode per run, which is still once per run
+		// rather than once per cycle.
+		dec = cpu.Predecode(prog, cpu.ImageLayout(im))
+	}
+	pipe, err := cpu.RunPipelineDecoded(m, pc, port, dec)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s on %s: %w", s.Kernel.Name, cfg.Name, err)
 	}
