@@ -42,9 +42,21 @@ if [ "$(echo "$bench" | grep -c "BenchmarkPipelineSteadyState/.* 0 allocs/op")" 
     exit 1
 fi
 
+echo "== benchmark smoke: compiled functional machine stays allocation-free =="
+# The functional machine's steady state (legacy Step loop and the
+# compiled micro-op table) must perform zero heap allocations on both
+# execution paths.
+bench=$(go test -run=NONE -bench=BenchmarkMachineSteadyState -benchtime=1x -benchmem .)
+echo "$bench"
+if [ "$(echo "$bench" | grep -c "BenchmarkMachineSteadyState/.* 0 allocs/op")" -ne 2 ]; then
+    echo "ci.sh: functional machine steady state allocates" >&2
+    exit 1
+fi
+
 echo "== perf trajectory: pipeline benchmark record =="
-# Refreshes BENCH_pipeline.json (cycles/sec, ns/op, allocs/op of the
-# timing loop) so successive PRs can chart timing-loop regressions.
+# Refreshes BENCH_pipeline.json (cycles/sec of the timing loop,
+# instrs/sec of the functional machine on both execution paths, and the
+# per-kernel Prepare cost) so successive PRs can chart regressions.
 go run ./cmd/fitsbench -pipebench BENCH_pipeline.json
 
 echo "== regression gate: scale-1 suite vs committed baseline =="

@@ -11,24 +11,29 @@ import (
 	"powerfits/internal/cpu"
 	"powerfits/internal/kernels"
 	"powerfits/internal/power"
+	"powerfits/internal/program"
 	"powerfits/internal/sim"
 	"powerfits/internal/synth"
 )
 
-// PipeBenchSchema tags BENCH_pipeline.json records.
-const PipeBenchSchema = "powerfits-pipebench/v1"
+// PipeBenchSchema tags BENCH_pipeline.json records. v2 adds the
+// functional-machine rows (interpreted vs compiled, instrs_per_sec)
+// and the Prepare row next to the v1 pipeline rows.
+const PipeBenchSchema = "powerfits-pipebench/v2"
 
-// pipeBenchEntry is one benchmark row: the steady-state timing loop for
-// one configuration, measured exactly like BenchmarkPipelineSteadyState
-// (construction outside the timer, shared predecode table, reused
-// result).
+// pipeBenchEntry is one benchmark row: a steady-state loop for one
+// configuration, measured exactly like the bench_test.go counterpart
+// (construction outside the timer, shared predecode/compiled table,
+// reused result). Pipeline rows carry cycles_per_*; functional-machine
+// rows carry instrs_per_sec; the Prepare row carries only ns_per_op.
 type pipeBenchEntry struct {
 	Name         string  `json:"name"`
 	NsPerOp      float64 `json:"ns_per_op"`
 	AllocsPerOp  int64   `json:"allocs_per_op"`
 	BytesPerOp   int64   `json:"bytes_per_op"`
-	CyclesPerOp  float64 `json:"cycles_per_op"`
-	CyclesPerSec float64 `json:"cycles_per_sec"`
+	CyclesPerOp  float64 `json:"cycles_per_op,omitempty"`
+	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
+	InstrsPerSec float64 `json:"instrs_per_sec,omitempty"`
 	Iterations   int     `json:"iterations"`
 }
 
@@ -78,13 +83,61 @@ func pipeBenchLoop(b *testing.B, s *sim.Setup, cfg sim.Config) {
 	b.ReportMetric(float64(cycles)/float64(b.N), "cycles/op")
 }
 
+// machineBenchLoop is the functional-machine counterpart of
+// pipeBenchLoop: one full program run per op (interpreted Step loop or
+// compiled micro-op table), machine construction excluded from the
+// timer, instrs/s reported via b.ReportMetric.
+func machineBenchLoop(b *testing.B, p *program.Program, l cpu.Layout, run func(*cpu.Machine) error) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := cpu.New(p, l)
+		m.MaxInstrs = 2e9
+		m.Output = make([]uint32, 0, 64)
+		b.StartTimer()
+		if err := run(m); err != nil {
+			b.Fatal(err)
+		}
+		instrs += m.InstrCount
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// record converts one testing.Benchmark result into a report entry and
+// echoes it to stderr.
+func (rep *pipeBenchReport) record(name string, r testing.BenchmarkResult) {
+	e := pipeBenchEntry{
+		Name:         name,
+		NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp:  r.AllocsPerOp(),
+		BytesPerOp:   r.AllocedBytesPerOp(),
+		CyclesPerOp:  r.Extra["cycles/op"],
+		CyclesPerSec: r.Extra["cycles/s"],
+		InstrsPerSec: r.Extra["instrs/s"],
+		Iterations:   r.N,
+	}
+	rep.Entries = append(rep.Entries, e)
+	rate, unit := e.CyclesPerSec, "cycles/s"
+	if e.InstrsPerSec > 0 {
+		rate, unit = e.InstrsPerSec, "instrs/s"
+	}
+	fmt.Fprintf(os.Stderr, "%-32s %12.0f ns/op %14.0f %-8s %4d allocs/op\n",
+		e.Name, e.NsPerOp, rate, unit, e.AllocsPerOp)
+}
+
 // runPipeBench benchmarks the timing loop for the paper's two headline
-// configurations and writes the JSON trajectory record to path.
+// configurations, the functional machine on both execution paths, and
+// the per-kernel Prepare cost, then writes the JSON trajectory record
+// to path.
 func runPipeBench(path, kernel string, scale int) error {
 	if scale <= 0 {
 		scale = 1
 	}
-	s, err := sim.Prepare(kernels.MustGet(kernel), scale, synth.DefaultOptions())
+	k := kernels.MustGet(kernel)
+	s, err := sim.Prepare(k, scale, synth.DefaultOptions())
 	if err != nil {
 		return err
 	}
@@ -98,22 +151,28 @@ func runPipeBench(path, kernel string, scale int) error {
 	}
 	for _, cfg := range []sim.Config{sim.ARM16, sim.FITS8} {
 		cfg := cfg
-		r := testing.Benchmark(func(b *testing.B) { pipeBenchLoop(b, s, cfg) })
-		rep.Entries = append(rep.Entries, pipeBenchEntry{
-			Name:         "PipelineSteadyState/" + cfg.Name,
-			NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp:  r.AllocsPerOp(),
-			BytesPerOp:   r.AllocedBytesPerOp(),
-			CyclesPerOp:  r.Extra["cycles/op"],
-			CyclesPerSec: r.Extra["cycles/s"],
-			Iterations:   r.N,
-		})
-		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %14.0f cycles/s %4d allocs/op\n",
-			rep.Entries[len(rep.Entries)-1].Name,
-			rep.Entries[len(rep.Entries)-1].NsPerOp,
-			rep.Entries[len(rep.Entries)-1].CyclesPerSec,
-			r.AllocsPerOp())
+		rep.record("PipelineSteadyState/"+cfg.Name,
+			testing.Benchmark(func(b *testing.B) { pipeBenchLoop(b, s, cfg) }))
 	}
+
+	l := cpu.WordLayout(s.Prog.TextBase, len(s.Prog.Instrs))
+	comp := cpu.Compile(s.Prog, l)
+	rep.record("MachineSteadyState/Interpreted",
+		testing.Benchmark(func(b *testing.B) {
+			machineBenchLoop(b, s.Prog, l, (*cpu.Machine).Run)
+		}))
+	rep.record("MachineSteadyState/Compiled",
+		testing.Benchmark(func(b *testing.B) {
+			machineBenchLoop(b, s.Prog, l, func(m *cpu.Machine) error { return m.RunCompiled(comp) })
+		}))
+	rep.record("Prepare",
+		testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Prepare(k, scale, synth.DefaultOptions()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err

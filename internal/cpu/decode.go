@@ -63,6 +63,12 @@ type DecodedInstr struct {
 type Decoded struct {
 	prog   *program.Program
 	Instrs []DecodedInstr
+
+	// sem is the semantic micro-op table for the same (program, layout)
+	// pair, built alongside the timing records so the pipeline's execute
+	// stage dispatches through compiled micro-ops instead of re-decoding
+	// isa.Instr fields in Machine.Step.
+	sem *Compiled
 }
 
 // Predecode builds the static-instruction table for p laid out by l.
@@ -103,11 +109,15 @@ func Predecode(p *program.Program, l Layout) *Decoded {
 		}
 		recs[i] = rec
 	}
-	return &Decoded{prog: p, Instrs: recs}
+	return &Decoded{prog: p, Instrs: recs, sem: Compile(p, l)}
 }
 
 // Program returns the program the table was decoded from.
 func (d *Decoded) Program() *program.Program { return d.prog }
+
+// Compiled returns the semantic micro-op table built alongside the
+// timing records, for callers (sim.Setup) that want to share it.
+func (d *Decoded) Compiled() *Compiled { return d.sem }
 
 // check verifies the table belongs to the machine's program. The match
 // is by identity: a Decoded is only valid for pipelines running the

@@ -280,10 +280,6 @@ func (m *Machine) Step() (StepResult, error) {
 		return res, nil
 	}
 
-	fault := func(detail string) (StepResult, error) {
-		return res, &ExecError{Idx: idx, Instr: *in, Detail: detail}
-	}
-
 	switch in.Op {
 	case isa.ADD, isa.ADC, isa.SUB, isa.SBC, isa.RSB, isa.CMP, isa.CMN:
 		op2, _ := m.operand2(in)
@@ -386,7 +382,7 @@ func (m *Machine) Step() (StepResult, error) {
 	case isa.LDR, isa.LDRB, isa.LDRH, isa.LDRSB, isa.LDRSH, isa.STR, isa.STRB, isa.STRH:
 		ea, wb := m.effAddr(in)
 		if err := m.checkAddr(ea, in.Op.MemSize()); err != "" {
-			return fault(err)
+			return res, m.stepFault(idx, err)
 		}
 		switch in.Op {
 		case isa.LDR:
@@ -417,7 +413,7 @@ func (m *Machine) Step() (StepResult, error) {
 		n := popCount(in.RegList)
 		sp := m.Regs[isa.SP] - 4*uint32(n)
 		if err := m.checkAddr(sp, 4*n); err != "" {
-			return fault(err)
+			return res, m.stepFault(idx, err)
 		}
 		a := sp
 		for r := isa.Reg(0); r < isa.NumRegs; r++ {
@@ -431,7 +427,7 @@ func (m *Machine) Step() (StepResult, error) {
 		n := popCount(in.RegList)
 		sp := m.Regs[isa.SP]
 		if err := m.checkAddr(sp, 4*n); err != "" {
-			return fault(err)
+			return res, m.stepFault(idx, err)
 		}
 		a := sp
 		for r := isa.Reg(0); r < isa.NumRegs; r++ {
@@ -452,7 +448,7 @@ func (m *Machine) Step() (StepResult, error) {
 	case isa.BX:
 		t, ok := m.layout.IndexOf(m.Regs[in.Rm])
 		if !ok {
-			return fault(fmt.Sprintf("BX to non-instruction address %#x", m.Regs[in.Rm]))
+			return res, m.stepFault(idx, fmt.Sprintf("BX to non-instruction address %#x", m.Regs[in.Rm]))
 		}
 		res.Taken = true
 		res.NextIdx = t
@@ -465,17 +461,25 @@ func (m *Machine) Step() (StepResult, error) {
 		case 1:
 			m.Output = append(m.Output, m.Regs[isa.R0])
 		default:
-			return fault(fmt.Sprintf("unknown SWI %d", in.Imm))
+			return res, m.stepFault(idx, fmt.Sprintf("unknown SWI %d", in.Imm))
 		}
 
 	case isa.NOP:
 		// nothing
 	default:
-		return fault("unimplemented op")
+		return res, m.stepFault(idx, "unimplemented op")
 	}
 
 	m.PCIdx = res.NextIdx
 	return res, nil
+}
+
+// stepFault builds the ExecError for a runtime fault at idx. Keeping it
+// out of line (instead of the closure Step used to build every call)
+// keeps the fault machinery off the steady-state path entirely: Step
+// allocates only when it actually faults (pinned by TestStepZeroAlloc).
+func (m *Machine) stepFault(idx int, detail string) error {
+	return &ExecError{Idx: idx, Instr: m.prog.Instrs[idx], Detail: detail}
 }
 
 // effAddr computes a load/store effective address and whether base
@@ -550,11 +554,14 @@ func (m *Machine) Run() error {
 
 // RunFunctional builds a machine over the identity layout, runs the
 // program to completion and returns it. It is the quick path for golden
-// outputs and dynamic profiling.
+// outputs and dynamic profiling; it compiles the program to the
+// semantic micro-op table first, so long runs execute at compiled speed
+// (bit-identical to the Step path — see compile.go).
 func RunFunctional(p *program.Program, maxInstrs uint64) (*Machine, error) {
-	m := New(p, WordLayout(p.TextBase, len(p.Instrs)))
+	l := WordLayout(p.TextBase, len(p.Instrs))
+	m := New(p, l)
 	m.MaxInstrs = maxInstrs
-	if err := m.Run(); err != nil {
+	if err := m.RunCompiled(Compile(p, l)); err != nil {
 		return nil, err
 	}
 	return m, nil

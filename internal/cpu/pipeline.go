@@ -166,6 +166,10 @@ func RunPipelineInto(m *Machine, cfg PipeConfig, port FetchPort, d *Decoded, res
 	if err := d.check(m); err != nil {
 		return err
 	}
+	sem := d.sem
+	if err := sem.check(m); err != nil {
+		return err
+	}
 	if port == nil {
 		port = NullFetchPort
 	}
@@ -290,8 +294,10 @@ func RunPipelineInto(m *Machine, cfg PipeConfig, port FetchPort, d *Decoded, res
 				break
 			}
 
-			// Execute.
-			stepRes, err := m.Step()
+			// Execute: dispatch through the semantic micro-op table built
+			// alongside the timing records (d.check above also vouches for
+			// sem, which Predecode compiles from the same program+layout).
+			stepRes, err := m.stepCompiled(sem)
 			if err != nil {
 				return err
 			}

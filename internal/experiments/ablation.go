@@ -26,7 +26,11 @@ func ablationRun(name string, opts synth.Options) (mapping, size float64) {
 	if err != nil {
 		return math.NaN(), math.NaN()
 	}
-	prof, err := profile.Collect(p, 2e9)
+	budget, err := opts.EffectiveProfileBudget()
+	if err != nil {
+		return math.NaN(), math.NaN()
+	}
+	prof, err := profile.Collect(p, budget)
 	if err != nil {
 		return math.NaN(), math.NaN()
 	}

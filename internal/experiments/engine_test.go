@@ -100,6 +100,18 @@ func TestSuiteSharesPredecodeTables(t *testing.T) {
 		if n := len(s.FitsDecoded.Instrs); n != len(s.Fits.Lowered.Instrs) {
 			t.Errorf("%s: FITS table covers %d/%d instructions", s.Kernel.Name, n, len(s.Fits.Lowered.Instrs))
 		}
+		if s.ArmCompiled == nil || s.FitsCompiled == nil {
+			t.Fatalf("%s: setup missing compiled micro-op tables", s.Kernel.Name)
+		}
+		if s.ArmCompiled != s.ArmDecoded.Compiled() || s.FitsCompiled != s.FitsDecoded.Compiled() {
+			t.Errorf("%s: compiled tables not shared with the decoded tables", s.Kernel.Name)
+		}
+		if s.ArmCompiled.Program() != s.Prog {
+			t.Errorf("%s: ARM compiled table not built from the baseline program", s.Kernel.Name)
+		}
+		if s.FitsCompiled.Program() != s.Fits.Lowered {
+			t.Errorf("%s: FITS compiled table not built from the lowered program", s.Kernel.Name)
+		}
 	}
 }
 

@@ -69,12 +69,16 @@ type Profile struct {
 
 // Collect runs the program functionally (the paper's profile stage runs
 // the application to completion) and gathers all statistics. maxInstrs
-// bounds the run (0 = unlimited).
+// bounds the run (0 = unlimited). The run dispatches through the
+// semantic micro-op table (cpu.Compile) — bit-identical to the Step
+// interpreter but substantially faster, which matters here because the
+// profiling run executes every dynamic instruction of the application.
 func Collect(p *program.Program, maxInstrs uint64) (*Profile, error) {
-	m := cpu.New(p, cpu.WordLayout(p.TextBase, len(p.Instrs)))
+	l := cpu.WordLayout(p.TextBase, len(p.Instrs))
+	m := cpu.New(p, l)
 	m.MaxInstrs = maxInstrs
 	m.DynCount = make([]uint64, len(p.Instrs))
-	if err := m.Run(); err != nil {
+	if err := m.RunCompiled(cpu.Compile(p, l)); err != nil {
 		return nil, err
 	}
 	return build(p, m.DynCount, m.Output), nil

@@ -85,6 +85,13 @@ type Setup struct {
 	// per-instruction metadata per cycle.
 	ArmDecoded  *cpu.Decoded
 	FitsDecoded *cpu.Decoded
+
+	// ArmCompiled and FitsCompiled are the semantic micro-op tables
+	// (cpu.Compile) built alongside the decoded tables — the execute
+	// stage's counterpart to the timing predecode, likewise shared
+	// read-only across configurations and engine workers.
+	ArmCompiled  *cpu.Compiled
+	FitsCompiled *cpu.Compiled
 }
 
 // Prepare builds, profiles, synthesizes and translates one kernel.
@@ -98,7 +105,11 @@ func Prepare(k kernels.Kernel, scale int, opts synth.Options) (*Setup, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: %w", k.Name, err)
 	}
-	prof, err := profile.Collect(p, 2e9)
+	budget, err := opts.EffectiveProfileBudget()
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s: %w", k.Name, err)
+	}
+	prof, err := profile.Collect(p, budget)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: profile: %w", k.Name, err)
 	}
@@ -114,10 +125,12 @@ func Prepare(k kernels.Kernel, scale int, opts synth.Options) (*Setup, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: thumb: %w", k.Name, err)
 	}
+	armDec := cpu.Predecode(p, cpu.ImageLayout(armIm))
+	fitsDec := cpu.Predecode(res.Lowered, cpu.ImageLayout(res.Image))
 	return &Setup{Kernel: k, Scale: scale, Prog: p, ArmImage: armIm,
 		Profile: prof, Synth: syn, Fits: res, Thumb: ts,
-		ArmDecoded:  cpu.Predecode(p, cpu.ImageLayout(armIm)),
-		FitsDecoded: cpu.Predecode(res.Lowered, cpu.ImageLayout(res.Image)),
+		ArmDecoded: armDec, FitsDecoded: fitsDec,
+		ArmCompiled: armDec.Compiled(), FitsCompiled: fitsDec.Compiled(),
 	}, nil
 }
 

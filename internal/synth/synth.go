@@ -46,11 +46,36 @@ type Options struct {
 	// assignments, per-width costs). A nil Trace adds no work and no
 	// allocations to the synthesis path.
 	Trace *Trace
+
+	// ProfileBudget bounds the dynamic profiling run that feeds
+	// synthesis (instructions executed before the profiler gives up on a
+	// runaway program). 0 means DefaultProfileBudget; negative values
+	// are rejected. Sweeps can lower it to trade profile fidelity for
+	// preparation speed.
+	ProfileBudget int64
 }
+
+// DefaultProfileBudget is the profiling instruction budget used when
+// Options.ProfileBudget is zero — generous enough that every shipped
+// kernel at every scale runs to completion.
+const DefaultProfileBudget = int64(2e9)
 
 // DefaultOptions returns the configuration used by the experiments.
 func DefaultOptions() Options {
 	return Options{DictCap: 256}
+}
+
+// EffectiveProfileBudget resolves the profiling instruction budget,
+// applying the default and rejecting nonsensical values.
+func (o Options) EffectiveProfileBudget() (uint64, error) {
+	switch {
+	case o.ProfileBudget == 0:
+		return uint64(DefaultProfileBudget), nil
+	case o.ProfileBudget < 0:
+		return 0, fmt.Errorf("synth: ProfileBudget must be > 0 (got %d)", o.ProfileBudget)
+	default:
+		return uint64(o.ProfileBudget), nil
+	}
 }
 
 // Synthesis is the result of instruction-set synthesis for one program.

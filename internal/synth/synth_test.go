@@ -170,3 +170,26 @@ func TestDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestEffectiveProfileBudget pins the ProfileBudget option contract:
+// zero resolves to the default, positive values pass through, and
+// negative values are rejected (sim.Prepare surfaces the error before
+// any profiling work starts).
+func TestEffectiveProfileBudget(t *testing.T) {
+	opts := DefaultOptions()
+	if opts.ProfileBudget != 0 {
+		t.Fatalf("DefaultOptions sets ProfileBudget = %d, want 0 (use the default)", opts.ProfileBudget)
+	}
+	got, err := opts.EffectiveProfileBudget()
+	if err != nil || got != uint64(DefaultProfileBudget) {
+		t.Fatalf("zero budget resolved to (%d, %v), want (%d, nil)", got, err, DefaultProfileBudget)
+	}
+	opts.ProfileBudget = 12345
+	if got, err = opts.EffectiveProfileBudget(); err != nil || got != 12345 {
+		t.Fatalf("explicit budget resolved to (%d, %v), want (12345, nil)", got, err)
+	}
+	opts.ProfileBudget = -1
+	if _, err = opts.EffectiveProfileBudget(); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
