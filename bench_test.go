@@ -318,11 +318,13 @@ func benchMachineRun(b *testing.B, p *program.Program, l cpu.Layout, run func(*c
 }
 
 // BenchmarkMachineSteadyState is the functional interpreter's
-// instrs/sec benchmark pair: the legacy Step loop vs the compiled
-// micro-op table from cpu.Compile (DESIGN.md §10). ci.sh runs it with
-// -benchtime=1x asserting 0 allocs/op, and `fitsbench -pipebench`
-// emits both numbers into BENCH_pipeline.json so successive PRs chart
-// the interpreter trajectory next to the pipeline's.
+// instrs/sec benchmark trio: the legacy Step loop, the compiled
+// micro-op table from cpu.Compile (DESIGN.md §10), and the
+// superblock-fused executor (DESIGN.md §11). ci.sh runs it with
+// -benchtime=1x asserting 0 allocs/op on all three paths, and
+// `fitsbench -pipebench` emits the numbers into BENCH_pipeline.json so
+// successive PRs chart the interpreter trajectory next to the
+// pipeline's.
 func BenchmarkMachineSteadyState(b *testing.B) {
 	p := kernels.MustGet("crc32").Build(1)
 	l := cpu.WordLayout(p.TextBase, len(p.Instrs))
@@ -332,6 +334,39 @@ func BenchmarkMachineSteadyState(b *testing.B) {
 	})
 	b.Run("Compiled", func(b *testing.B) {
 		benchMachineRun(b, p, l, func(m *cpu.Machine) error { return m.RunCompiled(c) })
+	})
+	b.Run("Superblock", func(b *testing.B) {
+		benchMachineRun(b, p, l, func(m *cpu.Machine) error { return m.RunSuperblocks(c) })
+	})
+}
+
+// BenchmarkSampledPipeline compares the sampled timing estimator
+// against the full detailed pipeline it replaces, on one scale-1
+// kernel and the paper's baseline configuration. The Sampled/Full
+// ns/op ratio is the estimator's wall-clock win (the acceptance floor
+// is 5× on a scale-1 kernel); accuracy is asserted separately by
+// TestSampledAccuracy in internal/sim.
+func BenchmarkSampledPipeline(b *testing.B) {
+	s, err := sim.Prepare(kernels.MustGet("bitcount"), 1, synth.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cal := power.DefaultCalibration()
+	b.Run("Full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Run(sim.ARM16, cal); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Sampled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.RunSampled(sim.ARM16, cal, sim.SampleOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 }
 

@@ -42,21 +42,31 @@ if [ "$(echo "$bench" | grep -c "BenchmarkPipelineSteadyState/.* 0 allocs/op")" 
     exit 1
 fi
 
-echo "== benchmark smoke: compiled functional machine stays allocation-free =="
-# The functional machine's steady state (legacy Step loop and the
-# compiled micro-op table) must perform zero heap allocations on both
-# execution paths.
+echo "== benchmark smoke: functional machine stays allocation-free =="
+# The functional machine's steady state (legacy Step loop, the compiled
+# micro-op table, and the superblock-fused executor) must perform zero
+# heap allocations on all three execution paths.
 bench=$(go test -run=NONE -bench=BenchmarkMachineSteadyState -benchtime=1x -benchmem .)
 echo "$bench"
-if [ "$(echo "$bench" | grep -c "BenchmarkMachineSteadyState/.* 0 allocs/op")" -ne 2 ]; then
+if [ "$(echo "$bench" | grep -c "BenchmarkMachineSteadyState/.* 0 allocs/op")" -ne 3 ]; then
     echo "ci.sh: functional machine steady state allocates" >&2
     exit 1
 fi
 
+echo "== sampled estimator: accuracy gate on one kernel =="
+# TestSampledAccuracy sweeps all 21 kernels x 4 configs asserting the
+# sampled cycles and fetch energy land within 2% of the full pipeline;
+# the full sweep runs in `go test ./...` above. This re-runs the single
+# heaviest kernel explicitly so a sampling regression names itself even
+# when someone trims the test matrix.
+go test ./internal/sim -run 'TestSampledAccuracy/jpeg' -count=1
+
 echo "== perf trajectory: pipeline benchmark record =="
-# Refreshes BENCH_pipeline.json (cycles/sec of the timing loop,
-# instrs/sec of the functional machine on both execution paths, and the
-# per-kernel Prepare cost) so successive PRs can chart regressions.
+# Refreshes BENCH_pipeline.json (schema v3: cycles/sec of the timing
+# loop, the sampled estimator with its measured cycle error, instrs/sec
+# of the functional machine on all three execution paths, and the
+# per-kernel Prepare cost) so successive PRs can chart regressions; a
+# per-entry delta table against the previous record prints first.
 go run ./cmd/fitsbench -pipebench BENCH_pipeline.json
 
 echo "== regression gate: scale-1 suite vs committed baseline =="

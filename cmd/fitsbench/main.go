@@ -15,7 +15,8 @@
 //	fitsbench -archive .powerfits/runs # archive the full run record (see `powerfits diff`)
 //	fitsbench -metrics suite.json -phases suite.csv [-window N]
 //	fitsbench -cpuprofile cpu.pprof -memprofile mem.pprof -trace run.trace
-//	fitsbench -pipebench BENCH_pipeline.json   # timing-loop perf trajectory record
+//	fitsbench -pipebench BENCH_pipeline.json   # timing-loop perf trajectory record (diffs vs an existing record)
+//	fitsbench -superblocks -sample    # fast path: fused-superblock profiling + sampled timing
 package main
 
 import (
@@ -121,10 +122,16 @@ func main() {
 		cpuProf     = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 		memProf     = flag.String("memprofile", "", "write a pprof heap profile to this path")
 		traceOut    = flag.String("trace", "", "write a runtime/trace execution trace to this path")
-		pipeBench   = flag.String("pipebench", "", "benchmark the predecoded timing loop and write BENCH_pipeline.json-style output to this path, then exit")
+		pipeBench   = flag.String("pipebench", "", "benchmark the predecoded timing loop and write BENCH_pipeline.json-style output to this path, then exit; if the path already holds a record, a per-entry delta table is printed first")
 		pipeKernel  = flag.String("pipebench-kernel", "crc32", "kernel the -pipebench loop runs")
+		superblocks = flag.Bool("superblocks", false, "profile kernels through the fused superblock executor (identical profiles, faster preparation)")
+		sample      = flag.Bool("sample", false, "replace full pipeline runs with the sampled timing estimator (exact outputs, ≤2% validated cycle/energy error)")
 	)
 	flag.Parse()
+
+	if *sample && (*metricsPath != "" || *phasesPath != "") {
+		fatal(fmt.Errorf("-sample is incompatible with -metrics/-phases: phase series require a full detailed run"))
+	}
 
 	if *pipeBench != "" {
 		if err := runPipeBench(*pipeBench, *pipeKernel, *scale); err != nil {
@@ -164,7 +171,8 @@ func main() {
 			observe.WindowCycles = *window
 		}
 		suite, err := experiments.RunSuite(experiments.Options{
-			Scale: *scale, Workers: *jobs, Progress: progress, Observe: observe})
+			Scale: *scale, Workers: *jobs, Progress: progress, Observe: observe,
+			Superblocks: *superblocks, Sampled: *sample})
 		if err != nil {
 			fatal(err)
 		}

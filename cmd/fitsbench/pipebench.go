@@ -3,8 +3,10 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"powerfits/internal/cache"
@@ -16,10 +18,16 @@ import (
 	"powerfits/internal/synth"
 )
 
-// PipeBenchSchema tags BENCH_pipeline.json records. v2 adds the
+// PipeBenchSchema tags BENCH_pipeline.json records. v2 added the
 // functional-machine rows (interpreted vs compiled, instrs_per_sec)
-// and the Prepare row next to the v1 pipeline rows.
-const PipeBenchSchema = "powerfits-pipebench/v2"
+// and the Prepare row next to the v1 pipeline rows; v3 adds the
+// superblock machine row and the sampled-pipeline rows, each carrying
+// its measured cycle error against the exact run.
+const PipeBenchSchema = "powerfits-pipebench/v3"
+
+// pipeBenchSchemaPrefix matches any record revision — the delta table
+// tolerates comparing across schema versions (new rows show as added).
+const pipeBenchSchemaPrefix = "powerfits-pipebench/"
 
 // pipeBenchEntry is one benchmark row: a steady-state loop for one
 // configuration, measured exactly like the bench_test.go counterpart
@@ -34,7 +42,10 @@ type pipeBenchEntry struct {
 	CyclesPerOp  float64 `json:"cycles_per_op,omitempty"`
 	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
 	InstrsPerSec float64 `json:"instrs_per_sec,omitempty"`
-	Iterations   int     `json:"iterations"`
+	// CycleErrPct is the sampled estimator's relative cycle error
+	// against the exact pipeline run, in percent (sampled rows only).
+	CycleErrPct float64 `json:"cycle_err_pct,omitempty"`
+	Iterations  int     `json:"iterations"`
 }
 
 // pipeBenchReport is the perf-trajectory record successive PRs diff to
@@ -106,9 +117,9 @@ func machineBenchLoop(b *testing.B, p *program.Program, l cpu.Layout, run func(*
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
 }
 
-// record converts one testing.Benchmark result into a report entry and
-// echoes it to stderr.
-func (rep *pipeBenchReport) record(name string, r testing.BenchmarkResult) {
+// record converts one testing.Benchmark result into a report entry,
+// echoes it to stderr, and returns the entry for post-hoc annotation.
+func (rep *pipeBenchReport) record(name string, r testing.BenchmarkResult) *pipeBenchEntry {
 	e := pipeBenchEntry{
 		Name:         name,
 		NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
@@ -126,12 +137,16 @@ func (rep *pipeBenchReport) record(name string, r testing.BenchmarkResult) {
 	}
 	fmt.Fprintf(os.Stderr, "%-32s %12.0f ns/op %14.0f %-8s %4d allocs/op\n",
 		e.Name, e.NsPerOp, rate, unit, e.AllocsPerOp)
+	return &rep.Entries[len(rep.Entries)-1]
 }
 
 // runPipeBench benchmarks the timing loop for the paper's two headline
-// configurations, the functional machine on both execution paths, and
-// the per-kernel Prepare cost, then writes the JSON trajectory record
-// to path.
+// configurations (full pipeline and sampled estimator, the latter with
+// its measured cycle error), the functional machine on all three
+// execution paths (interpreted, compiled, superblock-fused), and the
+// per-kernel Prepare cost, then writes the JSON trajectory record to
+// path — printing a per-entry delta table first when path already
+// holds a previous record.
 func runPipeBench(path, kernel string, scale int) error {
 	if scale <= 0 {
 		scale = 1
@@ -149,10 +164,35 @@ func runPipeBench(path, kernel string, scale int) error {
 		GOARCH: runtime.GOARCH,
 		CPUs:   runtime.NumCPU(),
 	}
+	cal := power.DefaultCalibration()
 	for _, cfg := range []sim.Config{sim.ARM16, sim.FITS8} {
 		cfg := cfg
 		rep.record("PipelineSteadyState/"+cfg.Name,
 			testing.Benchmark(func(b *testing.B) { pipeBenchLoop(b, s, cfg) }))
+	}
+	for _, cfg := range []sim.Config{sim.ARM16, sim.FITS8} {
+		cfg := cfg
+		exact, err := s.Run(cfg, cal)
+		if err != nil {
+			return err
+		}
+		var sampled *sim.Result
+		e := rep.record("SampledPipeline/"+cfg.Name,
+			testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					r, err := s.RunSampled(cfg, cal, sim.SampleOptions{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					sampled = r
+				}
+			}))
+		if sampled != nil {
+			e.CycleErrPct = 100 * math.Abs(float64(sampled.Pipe.Cycles)-float64(exact.Pipe.Cycles)) /
+				float64(exact.Pipe.Cycles)
+			fmt.Fprintf(os.Stderr, "%-32s %12s cycle error %.3f%%\n", "", "", e.CycleErrPct)
+		}
 	}
 
 	l := cpu.WordLayout(s.Prog.TextBase, len(s.Prog.Instrs))
@@ -165,6 +205,10 @@ func runPipeBench(path, kernel string, scale int) error {
 		testing.Benchmark(func(b *testing.B) {
 			machineBenchLoop(b, s.Prog, l, func(m *cpu.Machine) error { return m.RunCompiled(comp) })
 		}))
+	rep.record("MachineSteadyState/Superblock",
+		testing.Benchmark(func(b *testing.B) {
+			machineBenchLoop(b, s.Prog, l, func(m *cpu.Machine) error { return m.RunSuperblocks(comp) })
+		}))
 	rep.record("Prepare",
 		testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -173,6 +217,13 @@ func runPipeBench(path, kernel string, scale int) error {
 				}
 			}
 		}))
+
+	if prev, err := readPipeBench(path); err == nil {
+		comparePipeBench(prev, &rep)
+	} else if !os.IsNotExist(err) {
+		fmt.Fprintf(os.Stderr, "pipebench: cannot diff against %s: %v\n", path, err)
+	}
+
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err
@@ -182,4 +233,73 @@ func runPipeBench(path, kernel string, scale int) error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	return nil
+}
+
+// readPipeBench loads a previous trajectory record; any pipebench
+// schema revision is accepted so the delta table works across schema
+// bumps (rows that exist on only one side are marked, not compared).
+func readPipeBench(path string) (*pipeBenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep pipeBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, err
+	}
+	if !strings.HasPrefix(rep.Schema, pipeBenchSchemaPrefix) {
+		return nil, fmt.Errorf("schema %q is not a pipebench record", rep.Schema)
+	}
+	return &rep, nil
+}
+
+// comparePipeBench prints the per-entry delta table between the record
+// previously stored at the output path and the fresh measurement —
+// the at-a-glance regression check a PR runs before committing a new
+// trajectory record. Rows are matched by name; ns/op is the headline
+// delta (negative = faster), with the throughput metric alongside when
+// both sides carry one.
+func comparePipeBench(old, cur *pipeBenchReport) {
+	rate := func(e pipeBenchEntry) (float64, string) {
+		if e.InstrsPerSec > 0 {
+			return e.InstrsPerSec, "instrs/s"
+		}
+		if e.CyclesPerSec > 0 {
+			return e.CyclesPerSec, "cycles/s"
+		}
+		return 0, ""
+	}
+	prev := make(map[string]pipeBenchEntry, len(old.Entries))
+	for _, e := range old.Entries {
+		prev[e.Name] = e
+	}
+	fmt.Printf("pipebench delta vs previous record (%s, kernel %s):\n", old.Schema, old.Kernel)
+	fmt.Printf("  %-32s %14s %14s %9s %14s %14s %9s %8s\n",
+		"name", "old ns/op", "new ns/op", "Δns/op", "old rate", "new rate", "Δrate", "Δallocs")
+	for _, e := range cur.Entries {
+		nr, unit := rate(e)
+		o, ok := prev[e.Name]
+		if !ok {
+			fmt.Printf("  %-32s %14s %14.0f %9s %14s %14.0f %9s %8s  %s\n",
+				e.Name, "(new)", e.NsPerOp, "—", "—", nr, "—", "—", unit)
+			continue
+		}
+		delete(prev, e.Name)
+		or, _ := rate(o)
+		pct := func(oldV, newV float64) string {
+			if oldV <= 0 {
+				return "—"
+			}
+			return fmt.Sprintf("%+.1f%%", 100*(newV-oldV)/oldV)
+		}
+		fmt.Printf("  %-32s %14.0f %14.0f %9s %14.0f %14.0f %9s %+8d  %s\n",
+			e.Name, o.NsPerOp, e.NsPerOp, pct(o.NsPerOp, e.NsPerOp),
+			or, nr, pct(or, nr), e.AllocsPerOp-o.AllocsPerOp, unit)
+	}
+	// Entries the new record dropped, in the old record's order.
+	for _, e := range old.Entries {
+		if _, gone := prev[e.Name]; gone {
+			fmt.Printf("  %-32s %14.0f %14s\n", e.Name, e.NsPerOp, "(gone)")
+		}
+	}
 }

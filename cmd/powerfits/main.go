@@ -10,6 +10,7 @@
 //	powerfits disasm -kernel crc32 [-fits]
 //	powerfits dump   -kernel crc32           # assembly text (re-assembles with `asm`)
 //	powerfits run    -kernel crc32 [-config FITS8] [-scale N]
+//	                 [-sample] [-superblocks]        # sampled timing / fused profiling
 //	                 [-metrics out.json] [-phases out.csv] [-window N]
 //	                 [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace run.trace]
 //	powerfits report -in out.json [-top N]          # render a -metrics export
@@ -80,6 +81,8 @@ func main() {
 	listRuns := fs.Bool("list", false, "list the archived runs (archive command)")
 	savePath := fs.String("save", "", "archive the synthesis trace to this file (explain command)")
 	opN := fs.Int("op", -1, "explain one opcode point of the final spec (explain command)")
+	superblocks := fs.Bool("superblocks", false, "profile through the fused superblock executor (identical profile, faster preparation)")
+	sample := fs.Bool("sample", false, "use the sampled timing estimator instead of a full pipeline run (run/asm commands)")
 	cpuProf := fs.String("cpuprofile", "", "write a pprof CPU profile to this path")
 	memProf := fs.String("memprofile", "", "write a pprof heap profile to this path")
 	traceOut := fs.String("trace", "", "write a runtime/trace execution trace to this path")
@@ -145,13 +148,15 @@ func main() {
 		if perr != nil {
 			fatal(perr)
 		}
-		s, err = sim.Prepare(userKernel(p), 1, synth.DefaultOptions())
+		s, err = sim.PrepareWith(userKernel(p), 1, sim.PrepareOptions{
+			Synth: synth.DefaultOptions(), Superblocks: *superblocks})
 	} else {
 		k, kerr := kernels.Get(*kernel)
 		if kerr != nil {
 			fatal(kerr)
 		}
-		s, err = sim.Prepare(k, *scale, synth.DefaultOptions())
+		s, err = sim.PrepareWith(k, *scale, sim.PrepareOptions{
+			Synth: synth.DefaultOptions(), Superblocks: *superblocks})
 	}
 	if err != nil {
 		fatal(err)
@@ -167,11 +172,11 @@ func main() {
 	case "dump":
 		fmt.Print(asm.Format(s.Prog))
 	case "run":
-		run(s, *cfgName, runOutputs{Metrics: *metricsPath, Phases: *phasesPath, Window: *window})
+		run(s, *cfgName, runOutputs{Metrics: *metricsPath, Phases: *phasesPath, Window: *window, Sample: *sample})
 	case "asm":
 		info(s)
 		fmt.Println()
-		run(s, *cfgName, runOutputs{Metrics: *metricsPath, Phases: *phasesPath, Window: *window})
+		run(s, *cfgName, runOutputs{Metrics: *metricsPath, Phases: *phasesPath, Window: *window, Sample: *sample})
 	case "sweep":
 		sweep(s, *jobs)
 	case "config":
@@ -384,6 +389,7 @@ type runOutputs struct {
 	Metrics string // -metrics: JSON export path
 	Phases  string // -phases: CSV phase-series path
 	Window  int    // -window: sample window in cycles
+	Sample  bool   // -sample: sampled timing estimator
 }
 
 func run(s *sim.Setup, cfgName string, out runOutputs) {
@@ -400,11 +406,20 @@ func run(s *sim.Setup, cfgName string, out runOutputs) {
 	}
 	man := metrics.NewManifest("powerfits")
 	cal := power.DefaultCalibration()
-	var opt sim.ObserveOptions
-	if out.Metrics != "" || out.Phases != "" {
-		opt.WindowCycles = out.Window
+	var r *sim.Result
+	var err error
+	if out.Sample {
+		if out.Metrics != "" || out.Phases != "" {
+			fatal(fmt.Errorf("-sample is incompatible with -metrics/-phases: phase series require a full detailed run"))
+		}
+		r, err = s.RunSampled(cfg, cal, sim.SampleOptions{})
+	} else {
+		var opt sim.ObserveOptions
+		if out.Metrics != "" || out.Phases != "" {
+			opt.WindowCycles = out.Window
+		}
+		r, err = s.RunObserved(cfg, cal, opt)
 	}
-	r, err := s.RunObserved(cfg, cal, opt)
 	if err != nil {
 		fatal(err)
 	}
@@ -422,6 +437,15 @@ func run(s *sim.Setup, cfgName string, out runOutputs) {
 		r.Power.TotalPJ()/1e6, 100*sw, 100*in, 100*lk)
 	fmt.Printf("average power   %.2f mW; peak %.2f mW\n", 1e3*r.Power.AvgPowerW(), 1e3*r.Power.PeakPowerW)
 	fmt.Printf("output          %#x\n", r.Pipe.Output)
+	if st := r.Sampled; st != nil {
+		if st.Exact {
+			fmt.Printf("sampling        exact (run too short for sampling; full detail)\n")
+		} else {
+			fmt.Printf("sampling        %d windows, %.2f%% of instructions detailed, 95%% CI ±%.2f%% cycles / ±%.2f%% energy\n",
+				st.Windows, 100*float64(st.DetailedInstrs)/float64(st.TotalInstrs),
+				100*st.CycleRelCI, 100*st.EnergyRelCI)
+		}
+	}
 }
 
 // exportRun writes the -metrics JSON and/or -phases CSV for one run.

@@ -85,6 +85,12 @@ type Record struct {
 	// ConfigHash pins the power calibration and every kernel's decoder
 	// configuration.
 	ConfigHash string `json:"config_hash,omitempty"`
+	// Sampled marks a record whose timing runs used the sampled
+	// estimator (see sim.RunSampled): cycles and energy are
+	// extrapolated within a validated ≤2 % error bound, outputs and
+	// instruction counts exact. The marker participates in the run ID,
+	// so a sampled record never overwrites a full-simulation baseline.
+	Sampled bool `json:"sampled,omitempty"`
 
 	Manifest *metrics.Manifest   `json:"manifest,omitempty"`
 	Registry metrics.Snapshot    `json:"registry,omitempty"`
@@ -126,6 +132,11 @@ func FromSuite(man *metrics.Manifest, suite *experiments.Suite, scale int) *Reco
 	for _, s := range suite.Setups {
 		blobs = append(blobs, s.Synth.Spec.MarshalConfig())
 	}
+	if suite.Sampled {
+		// Fold the estimator marker into the identity so a sampled run
+		// lands on its own ID instead of overwriting the exact baseline.
+		blobs = append(blobs, []byte("sampled"))
+	}
 	hash := metrics.HashConfig(blobs...)
 
 	rec := &Record{
@@ -134,6 +145,7 @@ func FromSuite(man *metrics.Manifest, suite *experiments.Suite, scale int) *Reco
 		RunID:         runID(scale, hash),
 		Scale:         scale,
 		ConfigHash:    hash,
+		Sampled:       suite.Sampled,
 		Manifest:      man,
 	}
 	if man != nil {

@@ -78,6 +78,7 @@ type Cache struct {
 	sets      [][]way
 	stamp     uint64
 	lineShift uint
+	setShift  uint
 	setMask   uint32
 	stats     Stats
 }
@@ -98,6 +99,7 @@ func New(cfg Config) (*Cache, error) {
 		c.lineShift++
 	}
 	c.setMask = uint32(nsets - 1)
+	c.setShift = uint(log2(nsets))
 	return c, nil
 }
 
@@ -123,16 +125,21 @@ func (c *Cache) Access(addr uint32) bool {
 	c.stats.Accesses++
 	line := addr >> c.lineShift
 	set := c.sets[line&c.setMask]
-	tag := line >> uint(log2(len(c.sets)))
+	tag := line >> c.setShift
 
-	victim := 0
-	var victimLRU uint64 = ^uint64(0)
+	// Hit scan first: the common case touches nothing but the matching
+	// way's stamp. Victim selection runs only on the miss path.
 	for i := range set {
 		w := &set[i]
 		if w.valid && w.tag == tag {
 			w.lru = c.stamp
 			return true
 		}
+	}
+	victim := 0
+	var victimLRU uint64 = ^uint64(0)
+	for i := range set {
+		w := &set[i]
 		if !w.valid {
 			victim = i
 			victimLRU = 0

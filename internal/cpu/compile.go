@@ -203,6 +203,17 @@ type Compiled struct {
 	prog   *program.Program
 	layout Layout
 	uops   []uop
+
+	// fuse is the superblock run-length table: fuse[i] is the number of
+	// consecutive fusible micro-ops starting at i (see superblock.go).
+	fuse []uint16
+
+	// addrs and ends are the per-instruction encoded address ranges
+	// flattened out of the layout, so the superblock fetch-stream
+	// witness (RunSuperblocksWarm) reads two slices instead of making
+	// two interface calls per executed batch.
+	addrs []uint32
+	ends  []uint32
 }
 
 // Compile lowers p (laid out by l) into its micro-op table. The layout
@@ -212,6 +223,13 @@ func Compile(p *program.Program, l Layout) *Compiled {
 	c := &Compiled{prog: p, layout: l, uops: make([]uop, len(p.Instrs))}
 	for i := range p.Instrs {
 		c.uops[i] = compileOne(&p.Instrs[i], i, l)
+	}
+	c.fuse = buildFuse(c.uops)
+	c.addrs = make([]uint32, len(p.Instrs))
+	c.ends = make([]uint32, len(p.Instrs))
+	for i := range p.Instrs {
+		c.addrs[i] = l.AddrOf(i)
+		c.ends[i] = c.addrs[i] + uint32(l.SizeOf(i))
 	}
 	return c
 }

@@ -334,5 +334,6 @@ func FuzzCompiledVsStep(f *testing.F) {
 			return
 		}
 		lockstepCompare(t, p, 100000)
+		superblockCompare(t, p, 100000)
 	})
 }

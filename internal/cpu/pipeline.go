@@ -160,6 +160,66 @@ func RunPipelineDecoded(m *Machine, cfg PipeConfig, port FetchPort, d *Decoded) 
 // allocation-free (pinned by TestPipelineSteadyStateZeroAlloc and the
 // ci.sh benchmark smoke).
 func RunPipelineInto(m *Machine, cfg PipeConfig, port FetchPort, d *Decoded, res *PipeResult) error {
+	var p PipelineRun
+	if err := p.init(m, cfg, port, d, res); err != nil {
+		return err
+	}
+	return p.RunUntil(math.MaxUint64)
+}
+
+// PipelineRun is the timing model's cycle loop packaged as a resumable
+// state machine. RunPipelineInto drives one from start to halt in a
+// single call; the sampled simulator interleaves bounded RunUntil
+// windows with functional fast-forwards, calling Resync after each
+// fast-forward to discard the stale fetch and interlock state.
+//
+// The zero value is not usable; construct with NewPipelineRun (or, to
+// stay off the heap, embed the struct and call init via a full run
+// entry point such as RunPipelineInto).
+type PipelineRun struct {
+	m    *Machine
+	cfg  PipeConfig
+	port FetchPort
+	res  *PipeResult
+	recs []DecodedInstr
+	sem  *Compiled
+
+	blockMask uint32
+	latLoad   uint64
+	latMul    uint64
+	maxCycles uint64
+
+	// Fetch state: [fStart,fEnd) is the contiguous fetched region the
+	// issue stage may consume. fetchBusy counts remaining miss-stall
+	// cycles for the in-flight block; bubble counts mispredict flush
+	// cycles during which the fetch unit idles.
+	fStart      uint32
+	fEnd        uint32
+	inflight    uint32
+	fetchBusy   int
+	bubble      int
+	hasInflight bool
+
+	// regReady[r] is the first cycle a consumer of r may issue; index
+	// flagsReg is the NZCV pseudo-register.
+	regReady [isa.NumRegs + 1]uint64
+
+	cycle uint64
+}
+
+// NewPipelineRun validates the inputs and returns a run positioned at
+// the machine's current PC, ready for RunUntil. res receives the
+// accumulated timing result; it is reset here and kept current at every
+// RunUntil return.
+func NewPipelineRun(m *Machine, cfg PipeConfig, port FetchPort, d *Decoded, res *PipeResult) (*PipelineRun, error) {
+	p := new(PipelineRun)
+	if err := p.init(m, cfg, port, d, res); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *PipelineRun) init(m *Machine, cfg PipeConfig, port FetchPort, d *Decoded, res *PipeResult) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -180,36 +240,97 @@ func RunPipelineInto(m *Machine, cfg PipeConfig, port FetchPort, d *Decoded, res
 	if m.PCIdx < 0 || m.PCIdx >= len(recs) {
 		return fmt.Errorf("cpu: entry PC index %d out of range", m.PCIdx)
 	}
-	blockMask := ^uint32(cfg.BlockBytes - 1)
-	latLoad := uint64(1 + cfg.LoadUseDelay)
-	latMul := uint64(1 + cfg.MulLatency)
+	*p = PipelineRun{
+		m:         m,
+		cfg:       cfg,
+		port:      port,
+		res:       res,
+		recs:      recs,
+		sem:       sem,
+		blockMask: ^uint32(cfg.BlockBytes - 1),
+		latLoad:   uint64(1 + cfg.LoadUseDelay),
+		latMul:    uint64(1 + cfg.MulLatency),
+		maxCycles: cfg.cycleBudget(),
+	}
+	addr := recs[m.PCIdx].Addr
+	p.fStart, p.fEnd = addr, addr
+	return nil
+}
 
-	// Fetch state: [fStart,fEnd) is the contiguous fetched region the
-	// issue stage may consume. fetchBusy counts remaining miss-stall
-	// cycles for the in-flight block; bubble counts mispredict flush
-	// cycles during which the fetch unit idles.
-	var fStart, fEnd uint32
-	fetchBusy := 0
-	var inflight uint32
-	hasInflight := false
-	bubble := 0
+// Done reports whether the machine behind the run has halted.
+func (p *PipelineRun) Done() bool { return p.m.Halted }
+
+// Cycles returns the cycles simulated so far.
+func (p *PipelineRun) Cycles() uint64 { return p.cycle }
+
+// Resync re-aims the pipeline front end at the machine's current PC
+// after the architectural state was advanced outside the timing model
+// (a functional fast-forward). The fetch window, in-flight miss and
+// flush bubble are discarded and every register is marked ready — the
+// caller is expected to run an unmeasured warmup window before trusting
+// the timing again.
+func (p *PipelineRun) Resync() error {
+	m := p.m
+	if m.Halted {
+		return nil
+	}
+	if m.PCIdx < 0 || m.PCIdx >= len(p.recs) {
+		return fmt.Errorf("cpu: PC index %d out of range", m.PCIdx)
+	}
+	addr := p.recs[m.PCIdx].Addr
+	p.fStart, p.fEnd = addr, addr
+	p.fetchBusy = 0
+	p.hasInflight = false
+	p.bubble = 0
+	p.regReady = [isa.NumRegs + 1]uint64{}
+	return nil
+}
+
+// RunUntil advances the cycle loop until the machine halts or its
+// cumulative instruction count reaches target (an absolute
+// Machine.InstrCount value, not a delta; math.MaxUint64 means run to
+// halt). The bound is checked at cycle boundaries, so a dual-issue
+// cycle may overshoot by up to IssueWidth-1 instructions; callers
+// measure actual deltas rather than assuming exact landing. The result
+// passed at construction is kept current (Cycles, Output) on every
+// return.
+func (p *PipelineRun) RunUntil(target uint64) error {
+	// Copy the hot state to locals for the duration of the loop; write
+	// back through save() on every exit path.
+	m := p.m
+	cfg := p.cfg
+	port := p.port
+	res := p.res
+	recs := p.recs
+	sem := p.sem
+	blockMask := p.blockMask
+	latLoad, latMul := p.latLoad, p.latMul
+	maxCycles := p.maxCycles
+	fStart, fEnd := p.fStart, p.fEnd
+	fetchBusy, inflight, hasInflight := p.fetchBusy, p.inflight, p.hasInflight
+	bubble := p.bubble
+	cycle := p.cycle
+	regReady := &p.regReady
+
+	save := func() {
+		p.fStart, p.fEnd = fStart, fEnd
+		p.fetchBusy, p.inflight, p.hasInflight = fetchBusy, inflight, hasInflight
+		p.bubble = bubble
+		p.cycle = cycle
+		res.Cycles = cycle
+		res.Output = m.Output
+	}
 	redirect := func(addr uint32) {
 		fStart, fEnd = addr, addr
 		fetchBusy = 0
 		hasInflight = false
 	}
-	redirect(recs[m.PCIdx].Addr)
 
-	// regReady[r] is the first cycle a consumer of r may issue; index
-	// flagsReg is the NZCV pseudo-register.
-	var regReady [isa.NumRegs + 1]uint64
-
-	var cycle uint64
-	maxCycles := cfg.cycleBudget()
-
-	for !m.Halted {
+	unbounded := target == math.MaxUint64
+	for !m.Halted && (unbounded || m.InstrCount < target) {
 		cycle++
 		if cycle > maxCycles {
+			save()
 			return fmt.Errorf("cpu: cycle budget exhausted (deadlock?)")
 		}
 
@@ -299,6 +420,7 @@ func RunPipelineInto(m *Machine, cfg PipeConfig, port FetchPort, d *Decoded, res
 			// sem, which Predecode compiles from the same program+layout).
 			stepRes, err := m.stepCompiled(sem)
 			if err != nil {
+				save()
 				return err
 			}
 			res.Instrs++
@@ -363,7 +485,6 @@ func RunPipelineInto(m *Machine, cfg PipeConfig, port FetchPort, d *Decoded, res
 		port.Tick()
 	}
 
-	res.Cycles = cycle
-	res.Output = m.Output
+	save()
 	return nil
 }

@@ -105,8 +105,21 @@ type Options struct {
 	Progress func(string)
 	// Observe, when enabled, runs every kernel × configuration
 	// simulation with phase sampling attached; the per-run
-	// metrics.Series lands on each sim.Result.
+	// metrics.Series lands on each sim.Result. Ignored when Sampled is
+	// set — phase series require a full detailed run.
 	Observe sim.ObserveOptions
+	// Superblocks routes the profiling stage of every preparation
+	// through the fused superblock executor. Profiles are identical
+	// (the executors are equivalence-tested down to DynCount); only
+	// preparation wall-clock changes.
+	Superblocks bool
+	// Sampled replaces every full-pipeline timing run with the sampled
+	// estimator (sim.RunSampled): exact outputs and instruction counts,
+	// extrapolated cycles and energy with ≤2 % validated error.
+	Sampled bool
+	// Sample parameterises the estimator when Sampled is set; the zero
+	// value selects sim.DefaultSampleOptions.
+	Sample sim.SampleOptions
 }
 
 // RunParallel is Run with an explicit degree of parallelism.
@@ -133,6 +146,7 @@ func RunSuite(opt Options) (*Suite, error) {
 		Chip:    power.DefaultChipModel(),
 		Workers: workers,
 		Metrics: metrics.NewRegistry(),
+		Sampled: opt.Sampled,
 	}
 
 	// One drainer goroutine serializes the progress callback.
@@ -172,7 +186,10 @@ func RunSuite(opt Options) (*Suite, error) {
 				return
 			}
 			t0 := time.Now()
-			setup, err := sim.Prepare(k, opt.Scale, synth.DefaultOptions())
+			setup, err := sim.PrepareWith(k, opt.Scale, sim.PrepareOptions{
+				Synth:       synth.DefaultOptions(),
+				Superblocks: opt.Superblocks,
+			})
 			kr.timing.PrepareSec = time.Since(t0).Seconds()
 			kr.timing.Worker = worker
 			eng.release(worker)
@@ -199,7 +216,13 @@ func RunSuite(opt Options) (*Suite, error) {
 						return
 					}
 					t0 := time.Now()
-					r, err := setup.RunObserved(cfg, s.Cal, opt.Observe)
+					var r *sim.Result
+					var err error
+					if opt.Sampled {
+						r, err = setup.RunSampled(cfg, s.Cal, opt.Sample)
+					} else {
+						r, err = setup.RunObserved(cfg, s.Cal, opt.Observe)
+					}
 					runSec[ci] = time.Since(t0).Seconds()
 					eng.release(worker)
 					if err != nil {
@@ -214,6 +237,16 @@ func RunSuite(opt Options) (*Suite, error) {
 				kr.timing.RunSec += sec
 				kscope.Scope(sim.Configs[ci].Name).Gauge("run_sec").Set(sec)
 				kr.reg.Histogram("engine/run_sec", metrics.DurationBuckets).Observe(sec)
+			}
+			for ci, r := range kr.results {
+				if r == nil || r.Sampled == nil {
+					continue
+				}
+				cs := kscope.Scope(sim.Configs[ci].Name)
+				cs.Gauge("sample_windows").Set(float64(r.Sampled.Windows))
+				cs.Gauge("sample_detail_frac").Set(
+					float64(r.Sampled.DetailedInstrs) / float64(r.Sampled.TotalInstrs))
+				cs.Gauge("sample_cycle_ci").Set(r.Sampled.CycleRelCI)
 			}
 			for _, r := range kr.results {
 				if r == nil {

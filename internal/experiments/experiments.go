@@ -110,6 +110,11 @@ type Suite struct {
 	// and engine histograms, merged from the worker pool in
 	// deterministic kernel order (nil for hand-built suites).
 	Metrics *metrics.Registry
+	// Sampled marks a suite whose timing runs used the sampled
+	// estimator: cycles and energy are extrapolated (≤2 % validated
+	// error), outputs and instruction counts exact. Archive diffs
+	// against a full-simulation baseline will show small deltas.
+	Sampled bool
 }
 
 // Run prepares and simulates the whole benchmark suite on all available

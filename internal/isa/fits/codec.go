@@ -160,11 +160,12 @@ type cand struct {
 	sig Signature
 }
 
-// Candidates returns every opcode point that can express the
-// instruction (cheapest encoding chosen later). An empty result means
-// the translator must rewrite the instruction.
-func (sp *Spec) Candidates(in *isa.Instr) []cand {
-	var out []cand
+// candidates appends every opcode point that can express the
+// instruction to dst (cheapest encoding chosen later). An empty result
+// means the translator must rewrite the instruction. Append semantics
+// let hot callers keep the at-most-three candidates on the stack.
+func (sp *Spec) candidates(dst []cand, in *isa.Instr) []cand {
+	out := dst
 	add := func(s Signature) {
 		if op, ok := sp.pointOf[s]; ok {
 			out = append(out, cand{op, s})
@@ -201,7 +202,7 @@ func (sp *Spec) Candidates(in *isa.Instr) []cand {
 			mag = -mag
 		}
 		if int(mag)%in.Op.MemSize() != 0 {
-			return nil
+			return dst
 		}
 	}
 	return out
@@ -210,7 +211,8 @@ func (sp *Spec) Candidates(in *isa.Instr) []cand {
 // Expressible reports whether the instruction can be encoded (with EXT
 // prefixes as needed) under the spec without rewriting.
 func (sp *Spec) Expressible(in *isa.Instr) bool {
-	for _, c := range sp.Candidates(in) {
+	var buf [3]cand
+	for _, c := range sp.candidates(buf[:0], in) {
 		if _, err := sp.encodeCand(in, c, 0, 0); err == nil {
 			return true
 		}
@@ -229,7 +231,8 @@ func (sp *Spec) Encode(in *isa.Instr, addr, targetAddr uint32) ([]uint16, error)
 	if in.Op == isa.NOP {
 		return nil, &NoPointError{Sig: SigOf(in)}
 	}
-	cands := sp.Candidates(in)
+	var cbuf [3]cand
+	cands := sp.candidates(cbuf[:0], in)
 	if len(cands) == 0 {
 		if in.Op == isa.MLA && in.Rd != in.Rn {
 			return nil, &RewriteError{Reason: "MLA accumulator must equal destination in 16-bit form"}

@@ -94,9 +94,25 @@ type Setup struct {
 	FitsCompiled *cpu.Compiled
 }
 
+// PrepareOptions extends Prepare beyond the synthesis options.
+type PrepareOptions struct {
+	// Synth parameterises the ISA synthesis stage.
+	Synth synth.Options
+	// Superblocks runs the profiling pass through the fused superblock
+	// executor (profile.CollectOptions.Superblocks). The resulting
+	// Setup is identical; only preparation wall-clock changes.
+	Superblocks bool
+}
+
 // Prepare builds, profiles, synthesizes and translates one kernel.
 // scale ≤ 0 selects the kernel's default scale.
 func Prepare(k kernels.Kernel, scale int, opts synth.Options) (*Setup, error) {
+	return PrepareWith(k, scale, PrepareOptions{Synth: opts})
+}
+
+// PrepareWith is Prepare with full options.
+func PrepareWith(k kernels.Kernel, scale int, popts PrepareOptions) (*Setup, error) {
+	opts := popts.Synth
 	if scale <= 0 {
 		scale = k.DefaultScale
 	}
@@ -109,7 +125,7 @@ func Prepare(k kernels.Kernel, scale int, opts synth.Options) (*Setup, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: %w", k.Name, err)
 	}
-	prof, err := profile.Collect(p, budget)
+	prof, err := profile.CollectWith(p, profile.CollectOptions{MaxInstrs: budget, Superblocks: popts.Superblocks})
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: profile: %w", k.Name, err)
 	}
@@ -153,6 +169,10 @@ type Result struct {
 	// Phases is the phase-resolved telemetry of an observed run
 	// (RunObserved with a positive window); nil otherwise.
 	Phases *metrics.Series
+
+	// Sampled describes the sampling estimator behind the result when
+	// it came from RunSampled; nil for exact (full-pipeline) runs.
+	Sampled *SampleStats
 }
 
 // icachePort implements cpu.FetchPort over the cache and power models.

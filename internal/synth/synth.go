@@ -14,7 +14,8 @@ package synth
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 
 	"powerfits/internal/isa"
 	"powerfits/internal/isa/fits"
@@ -22,6 +23,33 @@ import (
 	"powerfits/internal/program"
 	"powerfits/internal/translate"
 )
+
+// sortSigs orders signatures by rendered form with Key as tie-break —
+// the deterministic order used everywhere in synthesis. Both strings
+// are rendered once per element rather than once per comparison, which
+// matters because the SIS closure re-sorts the point set every
+// iteration of every candidate k.
+func sortSigs(sigs []fits.Signature) {
+	type keyed struct {
+		sig fits.Signature
+		str string
+	}
+	ks := make([]keyed, len(sigs))
+	for i, s := range sigs {
+		ks[i] = keyed{s, s.String()}
+	}
+	slices.SortFunc(ks, func(a, b keyed) int {
+		if c := strings.Compare(a.str, b.str); c != 0 {
+			return c
+		}
+		// Rendered forms rarely collide; the full field dump breaks the
+		// tie without being materialised on the common path.
+		return strings.Compare(a.sig.Key(), b.sig.Key())
+	})
+	for i := range ks {
+		sigs[i] = ks[i].sig
+	}
+}
 
 // Options controls synthesis; use DefaultOptions as the base.
 type Options struct {
@@ -150,9 +178,14 @@ func Synthesize(prof *profile.Profile, opts Options) (*Synthesis, error) {
 		CandidateCost: make(map[int]uint64),
 		CandidateErr:  make(map[int]string),
 	}
+	// The candidate statistics depend only on the program and profile,
+	// not on the opcode width: collect them once and share the map
+	// (read-only downstream) across every k the search evaluates.
+	stats := collectStats(prof.Prog, prof.Dyn, opts)
+	ranked := rankedCandidates(stats)
 	var best *Synthesis
 	for k := lo; k <= hi; k++ {
-		cand, err := synthesizeK(prof, k, opts)
+		cand, err := synthesizeK(prof, k, opts, stats, ranked)
 		if err != nil {
 			out.CandidateErr[k] = err.Error()
 			if opts.Trace != nil {
@@ -239,10 +272,11 @@ const (
 )
 
 // synthesizeK builds and evaluates the spec for one opcode width.
-func synthesizeK(prof *profile.Profile, k int, opts Options) (*Synthesis, error) {
+// stats and ranked are shared across the k search; synthesizeK only
+// reads them.
+func synthesizeK(prof *profile.Profile, k int, opts Options, stats map[fits.Signature]*sigStats, ranked []fits.Signature) (*Synthesis, error) {
 	p := prof.Prog
 	capacity := 1 << k
-	stats := collectStats(p, prof.Dyn, opts)
 	var kt *KTrace
 	var sisRound map[fits.Signature]int
 	if opts.Trace != nil {
@@ -281,12 +315,7 @@ func synthesizeK(prof *profile.Profile, k int, opts Options) (*Synthesis, error)
 		for s := range set {
 			sigs = append(sigs, s)
 		}
-		sort.Slice(sigs, func(a, b int) bool {
-			if sa, sb := sigs[a].String(), sigs[b].String(); sa != sb {
-				return sa < sb
-			}
-			return sigs[a].Key() < sigs[b].Key()
-		})
+		sortSigs(sigs)
 		points := make([]fits.Point, 0, len(sigs)+1)
 		points = append(points, fits.Point{Kind: fits.PointExt})
 		for _, s := range sigs {
@@ -301,6 +330,7 @@ func synthesizeK(prof *profile.Profile, k int, opts Options) (*Synthesis, error)
 
 	// SIS closure: add every signature the translator reports missing
 	// until the whole program lowers.
+	var lc translate.Counter
 	for iter := 0; ; iter++ {
 		if iter > 4*capacity {
 			return nil, fmt.Errorf("synth: SIS closure did not converge")
@@ -311,7 +341,7 @@ func synthesizeK(prof *profile.Profile, k int, opts Options) (*Synthesis, error)
 		}
 		missing := map[fits.Signature]bool{}
 		for i := range p.Instrs {
-			if _, err := translate.LowerCount(&p.Instrs[i], spec); err != nil {
+			if _, err := lc.Count(&p.Instrs[i], spec); err != nil {
 				var np *fits.NoPointError
 				if errors.As(err, &np) {
 					missing[np.Sig] = true
@@ -341,7 +371,6 @@ func synthesizeK(prof *profile.Profile, k int, opts Options) (*Synthesis, error)
 	if budget < 0 {
 		return nil, fmt.Errorf("synth: BIS+SIS of %d signatures exceed 2^%d budget", len(set), k)
 	}
-	ranked := rankedCandidates(stats)
 	for _, cand := range ranked {
 		if budget == 0 {
 			break
@@ -383,12 +412,7 @@ func synthesizeK(prof *profile.Profile, k int, opts Options) (*Synthesis, error)
 		}
 	}
 	for _, lst := range []*[]fits.Signature{&syn.BIS, &syn.SIS, &syn.AIS} {
-		sort.Slice(*lst, func(a, b int) bool {
-			if sa, sb := (*lst)[a].String(), (*lst)[b].String(); sa != sb {
-				return sa < sb
-			}
-			return (*lst)[a].Key() < (*lst)[b].Key()
-		})
+		sortSigs(*lst)
 	}
 	return syn, nil
 }
@@ -396,21 +420,25 @@ func synthesizeK(prof *profile.Profile, k int, opts Options) (*Synthesis, error)
 // rankedCandidates orders candidate signatures by weight, descending.
 func rankedCandidates(stats map[fits.Signature]*sigStats) []fits.Signature {
 	type scored struct {
-		sig fits.Signature
-		w   uint64
+		sig      fits.Signature
+		w        uint64
+		str, key string
 	}
 	cands := make([]scored, 0, len(stats))
 	for sig, st := range stats {
-		cands = append(cands, scored{sig, st.weight})
+		cands = append(cands, scored{sig, st.weight, sig.String(), sig.Key()})
 	}
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].w != cands[b].w {
-			return cands[a].w > cands[b].w
+	slices.SortFunc(cands, func(a, b scored) int {
+		if a.w != b.w {
+			if a.w > b.w {
+				return -1
+			}
+			return 1
 		}
-		if sa, sb := cands[a].sig.String(), cands[b].sig.String(); sa != sb {
-			return sa < sb
+		if c := strings.Compare(a.str, b.str); c != 0 {
+			return c
 		}
-		return cands[a].sig.Key() < cands[b].sig.Key()
+		return strings.Compare(a.key, b.key)
 	})
 	out := make([]fits.Signature, len(cands))
 	for i, c := range cands {
@@ -469,12 +497,21 @@ func assignModes(points []fits.Point, stats map[fits.Signature]*sigStats, k int,
 		for v := range st.values {
 			vals = append(vals, v)
 		}
-		sort.Slice(vals, func(a, b int) bool {
-			wa, wb := st.values[vals[a]], st.values[vals[b]]
+		slices.SortFunc(vals, func(a, b int32) int {
+			wa, wb := st.values[a], st.values[b]
 			if wa != wb {
-				return wa > wb
+				if wa > wb {
+					return -1
+				}
+				return 1
 			}
-			return vals[a] < vals[b]
+			if a != b {
+				if a < b {
+					return -1
+				}
+				return 1
+			}
+			return 0
 		})
 		max := 1 << bits
 		if len(vals) > max {
@@ -495,11 +532,14 @@ func assignModes(points []fits.Point, stats map[fits.Signature]*sigStats, k int,
 			plans = append(plans, plan{idx: i, values: vals, benefit: costInline - costDict})
 		}
 	}
-	sort.Slice(plans, func(a, b int) bool {
-		if plans[a].benefit != plans[b].benefit {
-			return plans[a].benefit > plans[b].benefit
+	slices.SortFunc(plans, func(a, b plan) int {
+		if a.benefit != b.benefit {
+			if a.benefit > b.benefit {
+				return -1
+			}
+			return 1
 		}
-		return plans[a].idx < plans[b].idx
+		return a.idx - b.idx
 	})
 	remaining := opts.DictCap
 	for _, pl := range plans {

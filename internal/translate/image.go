@@ -73,17 +73,17 @@ func Translate(p *program.Program, spec *fits.Spec) (*Result, error) {
 	origOf := make([]int, 0, n)
 	for i := range p.Instrs {
 		origStart[i] = len(units)
-		seq, err := lowerOne(&p.Instrs[i], spec, 0)
+		var err error
+		units, err = lowerOne(units, &p.Instrs[i], spec, 0)
 		if err != nil {
 			return nil, fmt.Errorf("translate: %s instr %d (%s): %w", p.Name, i, &p.Instrs[i], err)
 		}
-		if len(seq) == 0 {
+		if len(units) == origStart[i] {
 			return nil, fmt.Errorf("translate: %s instr %d lowered to nothing", p.Name, i)
 		}
-		for range seq {
+		for u := origStart[i]; u < len(units); u++ {
 			origOf = append(origOf, i)
 		}
-		units = append(units, seq...)
 	}
 	origStart[n] = len(units)
 

@@ -41,13 +41,30 @@ type lowered struct {
 // instructions under the spec. A *fits.NoPointError escaping Lower names
 // a signature the synthesizer must add for completeness (SIS closure).
 func Lower(in *isa.Instr, spec *fits.Spec) ([]lowered, error) {
-	return lowerOne(in, spec, 0)
+	return lowerOne(nil, in, spec, 0)
 }
 
 // LowerCount returns the number of FITS instructions in's lowering
-// produces (synthesis cost evaluation), or an error.
+// produces (synthesis cost evaluation), or an error. Callers evaluating
+// many instructions should hold a Counter instead, which reuses one
+// scratch buffer across calls.
 func LowerCount(in *isa.Instr, spec *fits.Spec) (int, error) {
-	seq, err := lowerOne(in, spec, 0)
+	var c Counter
+	return c.Count(in, spec)
+}
+
+// Counter counts lowering lengths while recycling a single scratch
+// buffer. The SIS closure calls it once per instruction per interim
+// spec, where a fresh slice per call dominates synthesis allocation.
+// A Counter is not safe for concurrent use.
+type Counter struct{ buf []lowered }
+
+// Count returns the number of FITS instructions in's lowering produces.
+func (c *Counter) Count(in *isa.Instr, spec *fits.Spec) (int, error) {
+	seq, err := lowerOne(c.buf[:0], in, spec, 0)
+	if seq != nil {
+		c.buf = seq[:0] // keep the grown capacity for the next call
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -62,16 +79,22 @@ func commutative(op isa.Op) bool {
 	return false
 }
 
-func lowerOne(in *isa.Instr, spec *fits.Spec, depth int) ([]lowered, error) {
+// lowerOne appends in's lowering to dst and returns the extended slice
+// (append semantics: callers must use the return value). On error the
+// returned slice is nil; any elements a failed attempt wrote beyond
+// dst's original length are dead capacity the caller never observes.
+func lowerOne(dst []lowered, in *isa.Instr, spec *fits.Spec, depth int) ([]lowered, error) {
 	if depth > maxLowerDepth {
-		return nil, fmt.Errorf("translate: rewrite recursion overflow at %s", in)
+		// in.String() rather than in: passing the pointer to Errorf would
+		// force every rewrite template anywhere in the call tree to heap.
+		return nil, fmt.Errorf("translate: rewrite recursion overflow at %s", in.String())
 	}
 	if in.Op == isa.NOP {
 		return nil, fmt.Errorf("translate: NOP has no FITS lowering (kernels must not emit it)")
 	}
 	if in.Op == isa.LDC {
 		if spec.Expressible(in) {
-			return []lowered{{in: *in}}, nil
+			return append(dst, lowered{in: *in}), nil
 		}
 		return nil, &fits.NoPointError{Sig: fits.LdcSig()}
 	}
@@ -81,12 +104,12 @@ func lowerOne(in *isa.Instr, spec *fits.Spec, depth int) ([]lowered, error) {
 	// 1. Any opcode point (exact, two-operand or implied-base) that
 	// expresses the instruction directly, EXT prefixes included.
 	if spec.Expressible(in) {
-		return []lowered{{in: *in}}, nil
+		return append(dst, lowered{in: *in}), nil
 	}
 
 	// 2. Two-operand point variants for three-operand ALU shapes.
 	if sig.IsALU3() {
-		if seq, ok := lowerViaTwoOp(in, sig, spec, depth); ok {
+		if seq, ok := lowerViaTwoOp(dst, in, sig, spec, depth); ok {
 			return seq, nil
 		}
 	}
@@ -99,32 +122,29 @@ func lowerOne(in *isa.Instr, spec *fits.Spec, depth int) ([]lowered, error) {
 		}
 		body := *in
 		body.Cond = isa.AL
-		seq, err := lowerOne(&body, spec, depth+1)
-		if err != nil {
-			return nil, err
-		}
-		return append([]lowered{{in: skip, skipToEnd: true}}, seq...), nil
+		return lowerOne(append(dst, lowered{in: skip, skipToEnd: true}), &body, spec, depth+1)
 	}
 
 	// 4. Class-specific rewrites.
 	switch in.Op.Class() {
 	case isa.ClassALU:
-		return lowerALU(in, sig, spec, depth)
+		return lowerALU(dst, in, sig, spec, depth)
 	case isa.ClassMul:
-		return lowerMul(in, sig, spec, depth)
+		return lowerMul(dst, in, sig, spec, depth)
 	case isa.ClassMem:
-		return lowerMem(in, sig, spec, depth)
+		return lowerMem(dst, in, sig, spec, depth)
 	case isa.ClassBranch:
 		if in.Op == isa.BC {
 			// Inverse-skip plus an unconditional branch.
 			skip := isa.Instr{Op: isa.BC, Cond: in.Cond.Inverse(), TargetIdx: -1}
 			b := isa.Instr{Op: isa.B, Cond: isa.AL, TargetIdx: in.TargetIdx}
-			for _, need := range []isa.Instr{skip, b} {
-				if !spec.HasPoint(fits.SigOf(&need)) {
-					return nil, &fits.NoPointError{Sig: fits.SigOf(&need)}
-				}
+			if !spec.HasPoint(fits.SigOf(&skip)) {
+				return nil, &fits.NoPointError{Sig: fits.SigOf(&skip)}
 			}
-			return []lowered{{in: skip, skipToEnd: true}, {in: b}}, nil
+			if !spec.HasPoint(fits.SigOf(&b)) {
+				return nil, &fits.NoPointError{Sig: fits.SigOf(&b)}
+			}
+			return append(dst, lowered{in: skip, skipToEnd: true}, lowered{in: b}), nil
 		}
 	}
 	return nil, &fits.NoPointError{Sig: sig}
@@ -132,13 +152,13 @@ func lowerOne(in *isa.Instr, spec *fits.Spec, depth int) ([]lowered, error) {
 
 // lowerViaTwoOp tries the two-operand point for a three-operand
 // instance. Reports ok=false when no two-operand point exists.
-func lowerViaTwoOp(in *isa.Instr, sig fits.Signature, spec *fits.Spec, depth int) ([]lowered, bool) {
+func lowerViaTwoOp(dst []lowered, in *isa.Instr, sig fits.Signature, spec *fits.Spec, depth int) ([]lowered, bool) {
 	two := sig.AsTwoOp()
 	if !spec.HasPoint(two) {
 		return nil, false
 	}
 	if in.Rd == in.Rn {
-		return []lowered{{in: *in}}, true // Encode picks the two-op form
+		return append(dst, lowered{in: *in}), true // Encode picks the two-op form
 	}
 	clobbers := !sig.OperandImm && (in.Rd == in.Rm || (sig.RegShift && in.Rd == in.Rs))
 	if clobbers {
@@ -146,14 +166,14 @@ func lowerViaTwoOp(in *isa.Instr, sig fits.Signature, spec *fits.Spec, depth int
 			// rd = rm op rn: swap sources, still one instruction.
 			sw := *in
 			sw.Rn, sw.Rm = in.Rm, in.Rn
-			return []lowered{{in: sw}}, true
+			return append(dst, lowered{in: sw}), true
 		}
 		// Copying rn into rd would destroy a source: go through scratch.
 		mov1 := isa.Instr{Op: isa.MOV, Cond: in.Cond, Rd: Scratch, Rm: in.Rn, TargetIdx: -1}
 		body := *in
 		body.Rd, body.Rn = Scratch, Scratch
 		mov2 := isa.Instr{Op: isa.MOV, Cond: in.Cond, Rd: in.Rd, Rm: Scratch, TargetIdx: -1}
-		if seq, err := lowerSeq(spec, depth, mov1, body, mov2); err == nil {
+		if seq, err := lowerThree(dst, spec, depth, mov1, body, mov2); err == nil {
 			return seq, true
 		}
 		return nil, false
@@ -162,26 +182,31 @@ func lowerViaTwoOp(in *isa.Instr, sig fits.Signature, spec *fits.Spec, depth int
 	mov := isa.Instr{Op: isa.MOV, Cond: in.Cond, Rd: in.Rd, Rm: in.Rn, TargetIdx: -1}
 	body := *in
 	body.Rn = in.Rd
-	if seq, err := lowerSeq(spec, depth, mov, body); err == nil {
+	if seq, err := lowerTwo(dst, spec, depth, mov, body); err == nil {
 		return seq, true
 	}
 	return nil, false
 }
 
-// lowerSeq lowers each instruction in turn and concatenates.
-func lowerSeq(spec *fits.Spec, depth int, ins ...isa.Instr) ([]lowered, error) {
-	var out []lowered
-	for i := range ins {
-		seq, err := lowerOne(&ins[i], spec, depth+1)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, seq...)
+// lowerTwo and lowerThree lower short fixed sequences. Fixed arity (by
+// value, no variadic slice) keeps the rewrite templates off the heap.
+func lowerTwo(dst []lowered, spec *fits.Spec, depth int, a, b isa.Instr) ([]lowered, error) {
+	dst, err := lowerOne(dst, &a, spec, depth+1)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return lowerOne(dst, &b, spec, depth+1)
 }
 
-func lowerALU(in *isa.Instr, sig fits.Signature, spec *fits.Spec, depth int) ([]lowered, error) {
+func lowerThree(dst []lowered, spec *fits.Spec, depth int, a, b, c isa.Instr) ([]lowered, error) {
+	dst, err := lowerTwo(dst, spec, depth, a, b)
+	if err != nil {
+		return nil, err
+	}
+	return lowerOne(dst, &c, spec, depth+1)
+}
+
+func lowerALU(dst []lowered, in *isa.Instr, sig fits.Signature, spec *fits.Spec, depth int) ([]lowered, error) {
 	// Immediate form without a point: materialise the constant and use
 	// the register form.
 	if sig.OperandImm && sig.IsALU3() {
@@ -190,7 +215,7 @@ func lowerALU(in *isa.Instr, sig fits.Signature, spec *fits.Spec, depth int) ([]
 		body.HasImm = false
 		body.Imm = 0
 		body.Rm = Scratch
-		return lowerSeq(spec, depth, ldc, body)
+		return lowerTwo(dst, spec, depth, ldc, body)
 	}
 	// Fused constant shift without a point: explicit shift, then the
 	// plain register form.
@@ -201,7 +226,7 @@ func lowerALU(in *isa.Instr, sig fits.Signature, spec *fits.Spec, depth int) ([]
 		body.Rm = Scratch
 		body.Shift = isa.LSL
 		body.ShiftAmt = 0
-		return lowerSeq(spec, depth, sh, body)
+		return lowerTwo(dst, spec, depth, sh, body)
 	}
 	// Compares with immediates: materialise and compare registers.
 	if sig.OperandImm && in.Op.IsCompare() {
@@ -210,7 +235,7 @@ func lowerALU(in *isa.Instr, sig fits.Signature, spec *fits.Spec, depth int) ([]
 		body.HasImm = false
 		body.Imm = 0
 		body.Rm = Scratch
-		return lowerSeq(spec, depth, ldc, body)
+		return lowerTwo(dst, spec, depth, ldc, body)
 	}
 	// MOV/MVN immediate without a point: LDC (possibly inverted).
 	if sig.OperandImm && (in.Op == isa.MOV || in.Op == isa.MVN) && !in.SetFlags {
@@ -219,12 +244,12 @@ func lowerALU(in *isa.Instr, sig fits.Signature, spec *fits.Spec, depth int) ([]
 			v = ^v
 		}
 		ldc := isa.Instr{Op: isa.LDC, Cond: isa.AL, Rd: in.Rd, Imm: v, HasImm: true, TargetIdx: -1}
-		return lowerSeq(spec, depth, ldc)
+		return lowerOne(dst, &ldc, spec, depth+1)
 	}
 	return nil, &fits.NoPointError{Sig: sig}
 }
 
-func lowerMul(in *isa.Instr, sig fits.Signature, spec *fits.Spec, depth int) ([]lowered, error) {
+func lowerMul(dst []lowered, in *isa.Instr, sig fits.Signature, spec *fits.Spec, depth int) ([]lowered, error) {
 	if in.Op == isa.MUL {
 		two := sig.AsTwoOp()
 		if spec.HasPoint(two) {
@@ -232,13 +257,13 @@ func lowerMul(in *isa.Instr, sig fits.Signature, spec *fits.Spec, depth int) ([]
 				// Commute so the destination matches the first source.
 				sw := *in
 				sw.Rm, sw.Rs = in.Rs, in.Rm
-				return []lowered{{in: sw}}, nil
+				return append(dst, lowered{in: sw}), nil
 			}
 			if in.Rd != in.Rm && in.Rd != in.Rs {
 				mov := isa.Instr{Op: isa.MOV, Cond: isa.AL, Rd: in.Rd, Rm: in.Rm, TargetIdx: -1}
 				body := *in
 				body.Rm = in.Rd
-				return lowerSeq(spec, depth, mov, body)
+				return lowerTwo(dst, spec, depth, mov, body)
 			}
 		}
 		return nil, &fits.NoPointError{Sig: sig}
@@ -251,18 +276,18 @@ func lowerMul(in *isa.Instr, sig fits.Signature, spec *fits.Spec, depth int) ([]
 				mov := isa.Instr{Op: isa.MOV, Cond: isa.AL, Rd: in.Rd, Rm: in.Rn, TargetIdx: -1}
 				body := *in
 				body.Rn = in.Rd
-				return lowerSeq(spec, depth, mov, body)
+				return lowerTwo(dst, spec, depth, mov, body)
 			}
 			mov1 := isa.Instr{Op: isa.MOV, Cond: isa.AL, Rd: Scratch, Rm: in.Rn, TargetIdx: -1}
 			body := *in
 			body.Rd, body.Rn = Scratch, Scratch
 			mov2 := isa.Instr{Op: isa.MOV, Cond: isa.AL, Rd: in.Rd, Rm: Scratch, TargetIdx: -1}
-			return lowerSeq(spec, depth, mov1, body, mov2)
+			return lowerThree(dst, spec, depth, mov1, body, mov2)
 		}
 		// No MLA point: multiply into scratch and add.
 		mul := isa.Instr{Op: isa.MUL, Cond: isa.AL, Rd: Scratch, Rm: in.Rm, Rs: in.Rs, TargetIdx: -1}
 		add := isa.Instr{Op: isa.ADD, Cond: isa.AL, Rd: in.Rd, Rn: in.Rn, Rm: Scratch, TargetIdx: -1}
-		return lowerSeq(spec, depth, mul, add)
+		return lowerTwo(dst, spec, depth, mul, add)
 	}
 	return nil, &fits.NoPointError{Sig: sig}
 }
@@ -281,7 +306,7 @@ func memOffsetExpressible(in *isa.Instr) bool {
 	return int(mag)%in.Op.MemSize() == 0
 }
 
-func lowerMem(in *isa.Instr, sig fits.Signature, spec *fits.Spec, depth int) ([]lowered, error) {
+func lowerMem(dst []lowered, in *isa.Instr, sig fits.Signature, spec *fits.Spec, depth int) ([]lowered, error) {
 	switch in.Mode {
 	case isa.AMOffReg:
 		// Compute the address explicitly, then use the plain form.
@@ -293,10 +318,10 @@ func lowerMem(in *isa.Instr, sig fits.Signature, spec *fits.Spec, depth int) ([]
 		body.Rm = 0
 		body.ShiftAmt = 0
 		body.Imm = 0
-		return lowerSeq(spec, depth, add, body)
+		return lowerTwo(dst, spec, depth, add, body)
 	case isa.AMPostImm:
 		if in.Op.IsLoad() && in.Rd == in.Rn {
-			return nil, fmt.Errorf("translate: post-indexed load with rd == rn is unpredictable: %s", in)
+			return nil, fmt.Errorf("translate: post-indexed load with rd == rn is unpredictable: %s", in.String())
 		}
 		body := *in
 		body.Mode = isa.AMOffImm
@@ -306,21 +331,21 @@ func lowerMem(in *isa.Instr, sig fits.Signature, spec *fits.Spec, depth int) ([]
 			adj.Op = isa.SUB
 			adj.Imm = -in.Imm
 		}
-		return lowerSeq(spec, depth, body, adj)
+		return lowerTwo(dst, spec, depth, body, adj)
 	default: // AMOffImm
 		if sig.NegOff {
 			sub := isa.Instr{Op: isa.SUB, Cond: isa.AL, Rd: Scratch, Rn: in.Rn, Imm: -in.Imm, HasImm: true, TargetIdx: -1}
 			body := *in
 			body.Rn = Scratch
 			body.Imm = 0
-			return lowerSeq(spec, depth, sub, body)
+			return lowerTwo(dst, spec, depth, sub, body)
 		}
 		if !memOffsetExpressible(in) {
 			add := isa.Instr{Op: isa.ADD, Cond: isa.AL, Rd: Scratch, Rn: in.Rn, Imm: in.Imm, HasImm: true, TargetIdx: -1}
 			body := *in
 			body.Rn = Scratch
 			body.Imm = 0
-			return lowerSeq(spec, depth, add, body)
+			return lowerTwo(dst, spec, depth, add, body)
 		}
 	}
 	return nil, &fits.NoPointError{Sig: sig}
