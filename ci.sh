@@ -42,6 +42,17 @@ if [ "$(echo "$bench" | grep -c "BenchmarkPipelineSteadyState/.* 0 allocs/op")" 
     exit 1
 fi
 
+echo "== benchmark smoke: tracing entry point stays allocation-free =="
+# The traced pipeline entry must cost nothing when untraced (nil sink
+# dispatches back into the plain loop) and nothing per event when a
+# ring sink is attached; both paths are gated at 0 allocs/op.
+bench=$(go test -run=NONE -bench=BenchmarkPipelineTraced -benchtime=1x -benchmem .)
+echo "$bench"
+if [ "$(echo "$bench" | grep -c "BenchmarkPipelineTraced/.* 0 allocs/op")" -ne 2 ]; then
+    echo "ci.sh: traced pipeline entry allocates" >&2
+    exit 1
+fi
+
 echo "== benchmark smoke: functional machine stays allocation-free =="
 # The functional machine's steady state (legacy Step loop, the compiled
 # micro-op table, and the superblock-fused executor) must perform zero
@@ -69,6 +80,14 @@ echo "== perf trajectory: pipeline benchmark record =="
 # per-entry delta table against the previous record prints first.
 go run ./cmd/fitsbench -pipebench BENCH_pipeline.json
 
+echo "== trace export: generate + validate round trip =="
+# `powerfits trace` must emit a document its own -check accepts (the
+# exact bytes are additionally pinned by TestGoldenChromeTrace).
+trace_tmp=$(mktemp -d)
+trap 'rm -rf "$trace_tmp"' EXIT
+go run ./cmd/powerfits trace -kernel crc32 -config FITS8 -scale 1 -o "$trace_tmp/trace.json"
+go run ./cmd/powerfits trace -check -in "$trace_tmp/trace.json"
+
 echo "== regression gate: scale-1 suite vs committed baseline =="
 # Archives a fresh scale-1 run and diffs it against testdata/baseline.json.
 # Any figure or per-kernel metric moving in the wrong direction fails the
@@ -76,7 +95,7 @@ echo "== regression gate: scale-1 suite vs committed baseline =="
 # refresh the baseline with:
 #   go run ./cmd/fitsbench -scale 1 -q -exp headline -archive testdata/baseline.json
 gate_tmp=$(mktemp -d)
-trap 'rm -rf "$gate_tmp"' EXIT
+trap 'rm -rf "$gate_tmp" "$trace_tmp"' EXIT
 go run ./cmd/fitsbench -scale 1 -q -exp headline -archive "$gate_tmp/current.json" >/dev/null
 go run ./cmd/powerfits diff -base testdata/baseline.json -new "$gate_tmp/current.json"
 

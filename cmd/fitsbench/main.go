@@ -69,7 +69,8 @@ func exportSuite(man *metrics.Manifest, scale int, suite *experiments.Suite,
 		for _, cfg := range sim.Configs {
 			r := suite.Results[s.Kernel.Name][cfg.Name]
 			runs = append(runs, metrics.RunExport{
-				Kernel: s.Kernel.Name, Config: cfg.Name, Series: r.Phases})
+				Kernel: s.Kernel.Name, Config: cfg.Name, Series: r.Phases,
+				Stalls: sim.Stalls(r.Pipe)})
 		}
 	}
 	if metricsPath != "" {

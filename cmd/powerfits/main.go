@@ -14,6 +14,11 @@
 //	                 [-metrics out.json] [-phases out.csv] [-window N]
 //	                 [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace run.trace]
 //	powerfits report -in out.json [-top N]          # render a -metrics export
+//	powerfits trace  -kernel crc32 [-config FITS8] [-scale N] [-sample]
+//	                 [-o trace.json] [-limit N]     # Chrome trace-event export of the cycle loop
+//	powerfits trace  -check -in trace.json          # validate a trace export's schema
+//	powerfits profile -kernel crc32 [-config FITS8] [-scale N] [-sample]
+//	                  [-top N] [-folded] [-o out]   # PC→block energy/stall attribution
 //	powerfits asm    -file prog.s [-config FITS8]   # assemble + full flow + run
 //	powerfits sweep  -kernel jpeg [-j N]            # trace-driven cache-size sweep
 //	powerfits config -kernel crc32 > crc32.cfg      # the decoder-configuration image
@@ -46,7 +51,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: powerfits <list|info|isa|disasm|dump|run|report|asm|sweep|config|archive|diff|explain> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: powerfits <list|info|isa|disasm|dump|run|report|trace|profile|asm|sweep|config|archive|diff|explain> [flags]")
 	os.Exit(2)
 }
 
@@ -82,7 +87,11 @@ func main() {
 	savePath := fs.String("save", "", "archive the synthesis trace to this file (explain command)")
 	opN := fs.Int("op", -1, "explain one opcode point of the final spec (explain command)")
 	superblocks := fs.Bool("superblocks", false, "profile through the fused superblock executor (identical profile, faster preparation)")
-	sample := fs.Bool("sample", false, "use the sampled timing estimator instead of a full pipeline run (run/asm commands)")
+	sample := fs.Bool("sample", false, "use the sampled timing estimator instead of a full pipeline run (run/asm/trace/profile commands)")
+	outPath := fs.String("o", "", "output path (trace/profile commands; default stdout)")
+	limit := fs.Int("limit", 1<<16, "event ring capacity: the trace keeps the most recent N events (trace command)")
+	folded := fs.Bool("folded", false, "emit the profile as folded stacks for flamegraph tooling (profile command)")
+	check := fs.Bool("check", false, "validate an existing trace export instead of generating one (trace command, with -in)")
 	cpuProf := fs.String("cpuprofile", "", "write a pprof CPU profile to this path")
 	memProf := fs.String("memprofile", "", "write a pprof heap profile to this path")
 	traceOut := fs.String("trace", "", "write a runtime/trace execution trace to this path")
@@ -135,6 +144,15 @@ func main() {
 		return
 	}
 
+	if cmd == "trace" && *check {
+		if *inPath == "" {
+			fatal(fmt.Errorf("trace -check requires -in trace.json"))
+		}
+		cmdTraceCheck(*inPath)
+		finish()
+		return
+	}
+
 	var s *sim.Setup
 	if cmd == "asm" {
 		if *file == "" {
@@ -173,6 +191,10 @@ func main() {
 		fmt.Print(asm.Format(s.Prog))
 	case "run":
 		run(s, *cfgName, runOutputs{Metrics: *metricsPath, Phases: *phasesPath, Window: *window, Sample: *sample})
+	case "trace":
+		cmdTrace(s, *cfgName, *outPath, *limit, *sample)
+	case "profile":
+		cmdProfile(s, *cfgName, *topN, *folded, *outPath, *sample)
 	case "asm":
 		info(s)
 		fmt.Println()
@@ -393,21 +415,13 @@ type runOutputs struct {
 }
 
 func run(s *sim.Setup, cfgName string, out runOutputs) {
-	var cfg sim.Config
-	found := false
-	for _, c := range sim.Configs {
-		if strings.EqualFold(c.Name, cfgName) {
-			cfg = c
-			found = true
-		}
-	}
-	if !found {
-		fatal(fmt.Errorf("unknown config %q (want ARM16, ARM8, FITS16, FITS8)", cfgName))
+	cfg, err := configByName(cfgName)
+	if err != nil {
+		fatal(err)
 	}
 	man := metrics.NewManifest("powerfits")
 	cal := power.DefaultCalibration()
 	var r *sim.Result
-	var err error
 	if out.Sample {
 		if out.Metrics != "" || out.Phases != "" {
 			fatal(fmt.Errorf("-sample is incompatible with -metrics/-phases: phase series require a full detailed run"))
@@ -474,7 +488,8 @@ func exportRun(s *sim.Setup, cfg sim.Config, cal power.Calibration, r *sim.Resul
 	sc.Gauge("ipc").Set(r.Pipe.IPC())
 	sc.Gauge("miss_per_million").Set(r.Cache.MissesPerMillion())
 
-	runs := []metrics.RunExport{{Kernel: s.Kernel.Name, Config: cfg.Name, Series: r.Phases}}
+	runs := []metrics.RunExport{{Kernel: s.Kernel.Name, Config: cfg.Name,
+		Series: r.Phases, Stalls: sim.Stalls(r.Pipe)}}
 	if out.Metrics != "" {
 		man.Finish()
 		exp := &metrics.Export{Manifest: man, Registry: reg.Snapshot(), Runs: runs}
@@ -488,6 +503,28 @@ func exportRun(s *sim.Setup, cfg sim.Config, cal power.Calibration, r *sim.Resul
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "powerfits: wrote phase series to %s\n", out.Phases)
+	}
+}
+
+// stallTable renders the stall-cause breakdown of every run that
+// carries one: the zero-issue cycles of the CPI stack split by blocking
+// cause, per kernel × configuration.
+func stallTable(runs []metrics.RunExport) {
+	any := false
+	for _, run := range runs {
+		if run.Stalls == nil {
+			continue
+		}
+		if !any {
+			fmt.Printf("\nstall-cause breakdown (zero-issue cycles)\n")
+			fmt.Printf("%-16s %-8s %12s %12s %12s %12s %12s %12s\n",
+				"kernel", "config", "icache-miss", "mispredict", "fetch", "hazard", "total", "dual-issue")
+			any = true
+		}
+		b := run.Stalls
+		fmt.Printf("%-16s %-8s %12d %12d %12d %12d %12d %12d\n",
+			run.Kernel, run.Config, b.MissCycles, b.BubbleCycles,
+			b.FetchCycles, b.HazardCycles, b.Total(), b.DualIssue)
 	}
 }
 
@@ -536,6 +573,7 @@ func report(path string, topN int) {
 			fmt.Printf("  %-44s %11d obs, mean %.4f\n", h.Name, h.Count, mean)
 		}
 	}
+	stallTable(exp.Runs)
 	for _, run := range exp.Runs {
 		if run.Series == nil || len(run.Series.Samples) == 0 {
 			continue

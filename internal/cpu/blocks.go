@@ -1,0 +1,78 @@
+package cpu
+
+// BasicBlock is one maximal straight-line span of the decoded program:
+// control enters only at First and leaves only after Last. The spans
+// partition the instruction index space, and Addr/End bound the block's
+// encoded bytes in the decoded layout — the attribution targets of the
+// tracing profiler (`powerfits profile` folds fetch energy and stall
+// cycles onto these).
+type BasicBlock struct {
+	// First and Last are the block's instruction index range
+	// [First, Last] (inclusive).
+	First, Last int
+	// Addr and End bound the encoded bytes [Addr, End).
+	Addr, End uint32
+	// Func is the containing function's name ("" when the block lies
+	// outside every declared function span).
+	Func string
+}
+
+// BasicBlocks partitions the decoded program into basic blocks. Leaders
+// are the entry instruction, every function start, every branch target,
+// and every instruction following a control-flow instruction (BX and BL
+// included — their targets may be dynamic, but they always end the
+// block they sit in). The result is ordered by instruction index and
+// derived purely from the static predecode, so one table serves every
+// run of the image, like the Decoded table itself.
+func (d *Decoded) BasicBlocks() []BasicBlock {
+	n := len(d.Instrs)
+	if n == 0 {
+		return nil
+	}
+	leader := make([]bool, n)
+	leader[0] = true
+	for _, f := range d.prog.Funcs {
+		if f.Start >= 0 && f.Start < n {
+			leader[f.Start] = true
+		}
+	}
+	for i := range d.prog.Instrs {
+		if d.Instrs[i].Flags&DecBranch == 0 {
+			continue
+		}
+		if i+1 < n {
+			leader[i+1] = true
+		}
+		if t := d.prog.Instrs[i].TargetIdx; t >= 0 && t < n {
+			leader[t] = true
+		}
+	}
+
+	// Function lookup by span scan: block formation runs once per
+	// image, so the O(funcs) probe per block is irrelevant.
+	funcs := d.prog.Funcs
+	funcOf := func(idx int) string {
+		for _, f := range funcs {
+			if idx >= f.Start && idx < f.End {
+				return f.Name
+			}
+		}
+		return ""
+	}
+
+	var blocks []BasicBlock
+	for first := 0; first < n; {
+		last := first
+		for last+1 < n && !leader[last+1] {
+			last++
+		}
+		blocks = append(blocks, BasicBlock{
+			First: first, Last: last,
+			Addr: d.Instrs[first].Addr,
+			End:  d.Instrs[last].End,
+			Func: funcOf(first),
+		})
+		first = last + 1
+	}
+	return blocks
+}

@@ -1,0 +1,125 @@
+package cpu
+
+import (
+	"testing"
+
+	"powerfits/internal/asm"
+	"powerfits/internal/isa"
+	"powerfits/internal/isa/arm"
+)
+
+// blockProgram builds a two-function program with a backward loop, a
+// forward conditional and a call — one leader of every category.
+func blockDecoded(t *testing.T) *Decoded {
+	t.Helper()
+	b := asm.New("blocks")
+	b.Func("main")
+	b.MovI(isa.R0, 4)
+	b.Label("top")
+	b.CmpI(isa.R0, 2)
+	b.Beq("skip")
+	b.AddI(isa.R2, isa.R2, 1)
+	b.Label("skip")
+	b.Bl("leaf")
+	b.SubsI(isa.R0, isa.R0, 1)
+	b.Bne("top")
+	b.Exit()
+	b.Func("leaf")
+	b.AddI(isa.R3, isa.R3, 1)
+	b.Ret()
+	p := b.MustBuild()
+	im, err := arm.Assemble(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Predecode(p, ImageLayout(im))
+}
+
+// TestBasicBlocksPartition asserts the blocks tile the instruction
+// index space and the encoded address space exactly, in order.
+func TestBasicBlocksPartition(t *testing.T) {
+	d := blockDecoded(t)
+	blocks := d.BasicBlocks()
+	if len(blocks) == 0 {
+		t.Fatal("no blocks")
+	}
+	n := len(d.Instrs)
+	next := 0
+	for i, blk := range blocks {
+		if blk.First != next {
+			t.Fatalf("block %d starts at %d, want %d (gap or overlap)", i, blk.First, next)
+		}
+		if blk.Last < blk.First || blk.Last >= n {
+			t.Fatalf("block %d range [%d,%d] out of [0,%d)", i, blk.First, blk.Last, n)
+		}
+		if blk.Addr != d.Instrs[blk.First].Addr || blk.End != d.Instrs[blk.Last].End {
+			t.Errorf("block %d addresses [%#x,%#x) disagree with instruction records [%#x,%#x)",
+				i, blk.Addr, blk.End, d.Instrs[blk.First].Addr, d.Instrs[blk.Last].End)
+		}
+		next = blk.Last + 1
+	}
+	if next != n {
+		t.Fatalf("blocks cover %d of %d instructions", next, n)
+	}
+}
+
+// TestBasicBlocksLeaders asserts branches only ever end blocks and
+// branch targets only ever start them.
+func TestBasicBlocksLeaders(t *testing.T) {
+	d := blockDecoded(t)
+	blocks := d.BasicBlocks()
+	isFirst := make(map[int]bool, len(blocks))
+	for _, blk := range blocks {
+		isFirst[blk.First] = true
+	}
+	prog := d.Program()
+	for i := range d.Instrs {
+		if d.Instrs[i].Flags&DecBranch == 0 {
+			continue
+		}
+		inBlock := false
+		for _, blk := range blocks {
+			if i >= blk.First && i <= blk.Last {
+				if i != blk.Last {
+					t.Errorf("branch at %d sits mid-block [%d,%d]", i, blk.First, blk.Last)
+				}
+				inBlock = true
+			}
+		}
+		if !inBlock {
+			t.Errorf("branch at %d in no block", i)
+		}
+		if tgt := prog.Instrs[i].TargetIdx; tgt >= 0 && tgt < len(d.Instrs) && !isFirst[tgt] {
+			t.Errorf("branch target %d is not a block leader", tgt)
+		}
+	}
+}
+
+// TestBasicBlocksFuncLabels asserts every block carries its containing
+// function's name and function entries start fresh blocks.
+func TestBasicBlocksFuncLabels(t *testing.T) {
+	d := blockDecoded(t)
+	blocks := d.BasicBlocks()
+	prog := d.Program()
+	isFirst := make(map[int]bool, len(blocks))
+	for _, blk := range blocks {
+		isFirst[blk.First] = true
+	}
+	seen := map[string]bool{}
+	for _, f := range prog.Funcs {
+		if !isFirst[f.Start] {
+			t.Errorf("function %s starts at %d, not a block leader", f.Name, f.Start)
+		}
+		for _, blk := range blocks {
+			if blk.First >= f.Start && blk.Last < f.End {
+				if blk.Func != f.Name {
+					t.Errorf("block [%d,%d] labeled %q, want %q", blk.First, blk.Last, blk.Func, f.Name)
+				}
+				seen[f.Name] = true
+			}
+		}
+	}
+	if !seen["main"] || !seen["leaf"] {
+		t.Errorf("function coverage %v, want main and leaf", seen)
+	}
+}

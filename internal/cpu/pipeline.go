@@ -6,6 +6,7 @@ import (
 	"math/bits"
 
 	"powerfits/internal/isa"
+	"powerfits/internal/tracing"
 )
 
 // FetchPort is the pipeline's window onto the instruction memory
@@ -167,6 +168,21 @@ func RunPipelineInto(m *Machine, cfg PipeConfig, port FetchPort, d *Decoded, res
 	return p.RunUntil(math.MaxUint64)
 }
 
+// RunPipelineTraced is RunPipelineInto with a tracing.EventSink
+// attached: every fetch, miss, zero-issue cycle, branch and mispredict
+// is emitted as a cycle-stamped event record. A nil sink routes through
+// the identical untraced loop, so installing "no tracing" costs only
+// the guard branch at RunUntil's entry (pinned at 0 allocs/op by
+// BenchmarkPipelineTracedNilSink and the ci.sh smoke).
+func RunPipelineTraced(m *Machine, cfg PipeConfig, port FetchPort, d *Decoded, res *PipeResult, sink tracing.EventSink) error {
+	var p PipelineRun
+	if err := p.init(m, cfg, port, d, res); err != nil {
+		return err
+	}
+	p.sink = sink
+	return p.RunUntil(math.MaxUint64)
+}
+
 // PipelineRun is the timing model's cycle loop packaged as a resumable
 // state machine. RunPipelineInto drives one from start to halt in a
 // single call; the sampled simulator interleaves bounded RunUntil
@@ -205,6 +221,12 @@ type PipelineRun struct {
 	regReady [isa.NumRegs + 1]uint64
 
 	cycle uint64
+
+	// sink, when non-nil, routes RunUntil through the traced mirror of
+	// the cycle loop (pipeline_traced.go). Appended after the hot
+	// fields: inserting fields ahead of them has cost real throughput
+	// before (see the observedPort note in internal/sim).
+	sink tracing.EventSink
 }
 
 // NewPipelineRun validates the inputs and returns a run positioned at
@@ -257,6 +279,12 @@ func (p *PipelineRun) init(m *Machine, cfg PipeConfig, port FetchPort, d *Decode
 	return nil
 }
 
+// SetSink attaches an event sink to the run (nil detaches). Subsequent
+// RunUntil calls execute the traced mirror of the cycle loop; results
+// are bit-identical to the untraced loop (the mirror differs only in
+// the Emit calls — TestTracedRunMatchesPlainRun in internal/sim).
+func (p *PipelineRun) SetSink(sink tracing.EventSink) { p.sink = sink }
+
 // Done reports whether the machine behind the run has halted.
 func (p *PipelineRun) Done() bool { return p.m.Halted }
 
@@ -295,6 +323,13 @@ func (p *PipelineRun) Resync() error {
 // passed at construction is kept current (Cycles, Output) on every
 // return.
 func (p *PipelineRun) RunUntil(target uint64) error {
+	if p.sink != nil {
+		// Tracing requested: run the mirrored loop with Emit calls.
+		// Dispatching here (instead of branching per event inside the
+		// loop) keeps the untraced loop body below byte-for-byte the
+		// pre-tracing code.
+		return p.runUntilTraced(target)
+	}
 	// Copy the hot state to locals for the duration of the loop; write
 	// back through save() on every exit path.
 	m := p.m

@@ -1,0 +1,243 @@
+package cpu
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"powerfits/internal/tracing"
+)
+
+// runUntilTraced is the traced mirror of RunUntil: the same cycle loop
+// with tracing.EventSink.Emit calls at the fetch, stall, branch and
+// mispredict points. It exists as a separate copy so that the untraced
+// loop carries no per-event branches — RunUntil dispatches here once,
+// at entry, when a sink is attached.
+//
+// KEEP IN SYNC with RunUntil (pipeline.go). Every line that is not an
+// Emit call or the stallCode bookkeeping must match the plain loop
+// exactly; TestTracedRunMatchesPlainRun and
+// TestTracedStallCountsMatchCPIStack in internal/sim enforce the
+// equivalence on results, and any timing divergence shows up there as
+// a cycle-count mismatch.
+func (p *PipelineRun) runUntilTraced(target uint64) error {
+	// Copy the hot state to locals for the duration of the loop; write
+	// back through save() on every exit path.
+	m := p.m
+	cfg := p.cfg
+	port := p.port
+	res := p.res
+	recs := p.recs
+	sem := p.sem
+	blockMask := p.blockMask
+	latLoad, latMul := p.latLoad, p.latMul
+	maxCycles := p.maxCycles
+	fStart, fEnd := p.fStart, p.fEnd
+	fetchBusy, inflight, hasInflight := p.fetchBusy, p.inflight, p.hasInflight
+	bubble := p.bubble
+	cycle := p.cycle
+	regReady := &p.regReady
+	sink := p.sink
+
+	save := func() {
+		p.fStart, p.fEnd = fStart, fEnd
+		p.fetchBusy, p.inflight, p.hasInflight = fetchBusy, inflight, hasInflight
+		p.bubble = bubble
+		p.cycle = cycle
+		res.Cycles = cycle
+		res.Output = m.Output
+	}
+	redirect := func(addr uint32) {
+		fStart, fEnd = addr, addr
+		fetchBusy = 0
+		hasInflight = false
+	}
+
+	unbounded := target == math.MaxUint64
+	for !m.Halted && (unbounded || m.InstrCount < target) {
+		cycle++
+		if cycle > maxCycles {
+			save()
+			return fmt.Errorf("cpu: cycle budget exhausted (deadlock?)")
+		}
+
+		// ---- Fetch stage ----
+		const (
+			fetchOK = iota
+			fetchBubble
+			fetchMiss
+		)
+		fetchState := fetchOK
+		switch {
+		case bubble > 0:
+			bubble--
+			res.Bubbles++
+			fetchState = fetchBubble
+		case fetchBusy > 0:
+			fetchBusy--
+			res.FetchStalls++
+			fetchState = fetchMiss
+			if fetchBusy == 0 && hasInflight {
+				fEnd = inflight + uint32(cfg.BlockBytes)
+				hasInflight = false
+			}
+		default:
+			// Demand exactly the bytes the issue stage could consume
+			// this cycle: the next IssueWidth instructions.
+			last := m.PCIdx + cfg.IssueWidth - 1
+			if last >= len(recs) {
+				last = len(recs) - 1
+			}
+			need := recs[last].End
+			if fEnd < need {
+				blk := fEnd & blockMask
+				if fEnd == fStart {
+					blk = fStart & blockMask
+					fStart = blk
+				}
+				stall := port.FetchBlock(blk)
+				res.FetchAccesses++
+				if stall > 0 {
+					fetchBusy = stall
+					inflight = blk
+					hasInflight = true
+					sink.Emit(tracing.Event{
+						Cycle: cycle, PC: blk,
+						Payload: uint32(stall), Kind: tracing.KindMiss,
+					})
+				} else {
+					fEnd = blk + uint32(cfg.BlockBytes)
+					sink.Emit(tracing.Event{
+						Cycle: cycle, PC: blk, Kind: tracing.KindFetch,
+					})
+				}
+			}
+		}
+
+		// ---- Issue stage ----
+		memUsed, mulUsed := false, false
+		issued := 0
+		stallCause := &res.ZeroIssueHazard
+		stallCode := tracing.CauseHazard
+		for slot := 0; slot < cfg.IssueWidth && !m.Halted; slot++ {
+			idx := m.PCIdx
+			rec := &recs[idx]
+			if rec.Addr < fStart || rec.End > fEnd {
+				stallCause = &res.ZeroIssueFetch
+				stallCode = tracing.CauseFetch
+				break // bytes not fetched yet
+			}
+
+			// Structural hazards.
+			fl := rec.Flags
+			if fl&DecMem != 0 && memUsed {
+				break
+			}
+			if fl&DecMul != 0 && mulUsed {
+				break
+			}
+
+			// Data hazards: every used register (and, via bit flagsReg,
+			// the NZCV flags for predicated or flag-reading ops) must be
+			// ready. The mask walk visits only the set bits.
+			ready := true
+			for u := rec.Uses; u != 0; u &= u - 1 {
+				if regReady[bits.TrailingZeros32(u)] > cycle {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				break
+			}
+
+			// Execute: dispatch through the semantic micro-op table built
+			// alongside the timing records (d.check above also vouches for
+			// sem, which Predecode compiles from the same program+layout).
+			stepRes, err := m.stepCompiled(sem)
+			if err != nil {
+				save()
+				return err
+			}
+			res.Instrs++
+			issued++
+			if fl&DecMem != 0 {
+				memUsed = true
+			}
+			if fl&DecMul != 0 {
+				mulUsed = true
+			}
+
+			// Writeback latencies.
+			if stepRes.Executed {
+				lat := uint64(1)
+				if fl&DecLoad != 0 {
+					lat = latLoad
+				} else if fl&DecMul != 0 {
+					lat = latMul
+				}
+				wb := cycle + lat
+				for dm := uint32(rec.Defs); dm != 0; dm &= dm - 1 {
+					regReady[bits.TrailingZeros32(dm)] = wb
+				}
+				if fl&DecSetsFlags != 0 {
+					regReady[flagsReg] = cycle + 1
+				}
+			}
+
+			// Control flow.
+			if fl&DecBranch != 0 {
+				res.Branches++
+				predTaken := fl&DecPredTaken != 0
+				var takenFlag uint32
+				if stepRes.Taken {
+					res.Taken++
+					takenFlag = 1
+				}
+				sink.Emit(tracing.Event{
+					Cycle: cycle, PC: rec.Addr,
+					Payload: takenFlag, Kind: tracing.KindBranch,
+				})
+				if predTaken != stepRes.Taken {
+					res.Mispredicts++
+					bubble += cfg.MispredictPenalty
+					sink.Emit(tracing.Event{
+						Cycle: cycle, PC: rec.Addr,
+						Payload: uint32(cfg.MispredictPenalty),
+						Kind:    tracing.KindMispredict,
+					})
+				}
+				if stepRes.Taken || predTaken != stepRes.Taken {
+					redirect(recs[m.PCIdx].Addr)
+					slot = cfg.IssueWidth // stop issuing this cycle
+				}
+			}
+		}
+
+		// CPI-stack accounting.
+		switch {
+		case issued >= cfg.IssueWidth:
+			res.DualIssueCycles++
+		case issued == 0 && !m.Halted:
+			switch fetchState {
+			case fetchMiss:
+				res.ZeroIssueMiss++
+				stallCode = tracing.CauseMiss
+			case fetchBubble:
+				res.ZeroIssueBubble++
+				stallCode = tracing.CauseBubble
+			default:
+				*stallCause++
+			}
+			sink.Emit(tracing.Event{
+				Cycle: cycle, PC: recs[m.PCIdx].Addr,
+				Kind: tracing.KindStall, Cause: stallCode,
+			})
+		}
+
+		port.Tick()
+	}
+
+	save()
+	return nil
+}

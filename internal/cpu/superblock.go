@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"powerfits/internal/isa"
+	"powerfits/internal/tracing"
 )
 
 // This file is the superblock layer on top of the compiled micro-op
@@ -119,6 +120,35 @@ func (m *Machine) RunSuperblocksWarm(c *Compiled, n uint64, touch func(lo, hi ui
 		n = math.MaxUint64 - m.InstrCount
 	}
 	return m.runSuperblocks(c, m.InstrCount+n, touch)
+}
+
+// RunSuperblocksTraced is RunSuperblocksWarm with a tracing sink: one
+// KindSuperblock event per executed batch (a fused block, or a single
+// fallback instruction), carrying the machine's InstrCount at entry in
+// Cycle (functional execution has no cycle clock), the batch's first
+// encoded address in PC and its encoded length in Payload. A nil sink
+// delegates straight to RunSuperblocksWarm, so the fast-forward hot
+// path pays nothing when tracing is off.
+func (m *Machine) RunSuperblocksTraced(c *Compiled, n uint64, touch func(lo, hi uint32), sink tracing.EventSink) error {
+	if sink == nil {
+		return m.RunSuperblocksWarm(c, n, touch)
+	}
+	emit := func(lo, hi uint32) {
+		if touch != nil {
+			touch(lo, hi)
+		}
+		sink.Emit(tracing.Event{
+			Cycle: m.InstrCount, PC: lo,
+			Payload: hi - lo, Kind: tracing.KindSuperblock,
+		})
+	}
+	if err := c.check(m); err != nil {
+		return err
+	}
+	if n > math.MaxUint64-m.InstrCount {
+		n = math.MaxUint64 - m.InstrCount
+	}
+	return m.runSuperblocks(c, m.InstrCount+n, emit)
 }
 
 // runSuperblocks is the dispatch loop: fused blocks when a whole block

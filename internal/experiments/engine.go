@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"powerfits/internal/kernels"
@@ -122,6 +123,22 @@ type Options struct {
 	Sample sim.SampleOptions
 }
 
+// heartbeat formats one per-kernel progress line: the kernel that just
+// finished, the suite completion counter [n/total], its ARM16 dynamic
+// instruction count, and — once enough has completed to extrapolate —
+// the kernel completion rate and the estimated time to suite
+// completion. The "done" marker is load-bearing: consumers (and
+// TestRunParallelProgress) key on it.
+func heartbeat(kernel string, instrs uint64, n, total int, elapsed time.Duration) string {
+	line := fmt.Sprintf("%-16s done [%d/%d] (%d dynamic instrs on ARM16)",
+		kernel, n, total, instrs)
+	if sec := elapsed.Seconds(); sec > 0 && n > 0 && n < total {
+		rate := float64(n) / sec
+		line += fmt.Sprintf(" %.1f kernels/s, ETA %.0fs", rate, float64(total-n)/rate)
+	}
+	return line
+}
+
 // RunParallel is Run with an explicit degree of parallelism.
 // workers ≤ 0 selects runtime.GOMAXPROCS(0); workers == 1 reproduces
 // the sequential engine. Whatever the parallelism, the resulting Suite
@@ -162,6 +179,11 @@ func RunSuite(opt Options) (*Suite, error) {
 			}
 		}()
 	}
+
+	// completed counts finished kernels for the heartbeat lines; the
+	// atomic stands in for the serialization the drain goroutine gives
+	// the lines themselves.
+	var completed atomic.Uint64
 
 	// Per-kernel result slots, written only by that kernel's goroutines.
 	type kernelRun struct {
@@ -256,8 +278,9 @@ func RunSuite(opt Options) (*Suite, error) {
 			kr.reg.Counter("engine/kernels_done").Inc()
 			if progCh != nil {
 				// sim.Configs[0] is ARM16, matching the sequential line.
-				progCh <- fmt.Sprintf("%-16s done (%d dynamic instrs on ARM16)",
-					k.Name, kr.results[0].Pipe.Instrs)
+				n := int(completed.Add(1))
+				progCh <- heartbeat(k.Name, kr.results[0].Pipe.Instrs,
+					n, len(ks), time.Since(start))
 			}
 		}(&runs[i], ks[i])
 	}

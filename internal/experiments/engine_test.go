@@ -4,6 +4,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"powerfits/internal/kernels"
 	"powerfits/internal/metrics"
@@ -181,5 +182,28 @@ func TestSuiteObserved(t *testing.T) {
 	}
 	if a, b := renderAll(plain), renderAll(obs); a != b {
 		t.Fatal("observation changed the rendered tables")
+	}
+}
+
+// TestHeartbeatFormat pins the progress line contract: the "done"
+// marker and completion counter always appear, and the rate/ETA tail
+// appears exactly when mid-suite extrapolation is possible (some
+// kernels done, some remaining, nonzero elapsed time).
+func TestHeartbeatFormat(t *testing.T) {
+	mid := heartbeat("crc32", 12345, 3, 21, 2*time.Second)
+	for _, want := range []string{"crc32", "done", "[3/21]", "12345 dynamic instrs", "kernels/s", "ETA"} {
+		if !strings.Contains(mid, want) {
+			t.Errorf("mid-suite line %q missing %q", mid, want)
+		}
+	}
+	last := heartbeat("sha", 99, 21, 21, 2*time.Second)
+	if !strings.Contains(last, "done") || !strings.Contains(last, "[21/21]") {
+		t.Errorf("final line %q missing completion marker", last)
+	}
+	if strings.Contains(last, "ETA") {
+		t.Errorf("final line %q extrapolates past the end", last)
+	}
+	if zero := heartbeat("sha", 99, 1, 21, 0); strings.Contains(zero, "ETA") {
+		t.Errorf("zero-elapsed line %q divides by zero elapsed time", zero)
 	}
 }

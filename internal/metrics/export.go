@@ -7,12 +7,40 @@ import (
 	"os"
 )
 
+// StallBreakdown splits one run's zero-issue cycles by blocking cause —
+// the timing pipeline's CPI stack, which the tracing event stream
+// mirrors one KindStall event per cycle (the two tallies are asserted
+// equal by TestTracedStallCountsMatchCPIStack in internal/sim). The
+// cause cycles sum to the run's total zero-issue cycles; DualIssue
+// counts the cycles that issued the full width.
+type StallBreakdown struct {
+	// MissCycles: the fetch unit was stalled on an I-cache miss.
+	MissCycles uint64 `json:"miss_cycles"`
+	// BubbleCycles: the front end was flushing a mispredicted branch.
+	BubbleCycles uint64 `json:"bubble_cycles"`
+	// FetchCycles: the next instruction's bytes were not yet fetched.
+	FetchCycles uint64 `json:"fetch_cycles"`
+	// HazardCycles: a data or structural interlock blocked issue.
+	HazardCycles uint64 `json:"hazard_cycles"`
+	// DualIssue counts full-width issue cycles (not a stall cause; kept
+	// in the breakdown as the CPI stack's opposite pole).
+	DualIssue uint64 `json:"dual_issue_cycles"`
+}
+
+// Total returns the zero-issue cycles over every cause.
+func (b *StallBreakdown) Total() uint64 {
+	return b.MissCycles + b.BubbleCycles + b.FetchCycles + b.HazardCycles
+}
+
 // RunExport is the phase series of one kernel × configuration run
 // inside an Export.
 type RunExport struct {
 	Kernel string  `json:"kernel"`
 	Config string  `json:"config"`
 	Series *Series `json:"series,omitempty"`
+	// Stalls is the run's stall-cause breakdown; `powerfits report`
+	// renders the per-kernel/config table from it.
+	Stalls *StallBreakdown `json:"stalls,omitempty"`
 }
 
 // Export is the portable JSON document behind `-metrics out.json`:

@@ -148,6 +148,7 @@ type Meter struct {
 	peakPJ float64 // max window energy sum
 
 	lastAccessPJ float64 // energy charged by the most recent access
+	accessPJ     float64 // exact running sum of lastAccessPJ, access order
 }
 
 // NewMeter builds a meter for the given cache geometry.
@@ -216,6 +217,7 @@ func (m *Meter) Access(addr uint32, block []byte, miss bool) {
 		m.pendingPJ += m.fillPJ
 		m.lastAccessPJ += m.fillPJ
 	}
+	m.accessPJ += m.lastAccessPJ
 }
 
 // EnergyPJ returns the cumulative switching, internal and leakage
@@ -228,6 +230,14 @@ func (m *Meter) EnergyPJ() (switchPJ, internalPJ, leakPJ float64) {
 // LastAccessPJ returns the energy charged by the most recent Access
 // (switching plus any line fill), used for PC-level attribution.
 func (m *Meter) LastAccessPJ() float64 { return m.lastAccessPJ }
+
+// AccessPJ returns the exact running sum of per-access energies, added
+// in access order. An attribution sink that accumulates LastAccessPJ
+// per access, in the same order, lands on this value bit-for-bit — the
+// tracing profiler's conservation invariant. (It equals SwitchingPJ
+// plus the miss fills up to float64 reassociation; the exact identity
+// holds only for this counter.)
+func (m *Meter) AccessPJ() float64 { return m.accessPJ }
 
 // Tick closes one pipeline cycle: per-cycle internal and leakage energy
 // plus any access energy recorded this cycle, and updates the peak

@@ -7,7 +7,7 @@ import (
 	"powerfits/internal/cache"
 	"powerfits/internal/cpu"
 	"powerfits/internal/power"
-	"powerfits/internal/program"
+	"powerfits/internal/tracing"
 )
 
 // SampleOptions parameterises the sampled timing run: a detailed head,
@@ -180,6 +180,57 @@ func (a *sampleSnap) add(d sampleSnap) {
 	a.pipe.DualIssueCycles += d.pipe.DualIssueCycles
 }
 
+// covRange is one remembered warm-cover window (see sampleState).
+type covRange struct{ lo, hi uint32 }
+
+// sampleState is the per-run scratch of the sampled loop, hoisted into
+// one allocation so the window loop itself stays off the heap: the
+// warm-cover memo behind the functional fast-forward, and the
+// per-window ratio series preallocated from the profile's dynamic
+// instruction count. The run's total allocation count is pinned by
+// TestSampledAllocsPinned.
+type sampleState struct {
+	c         *cache.Cache
+	lineMask  uint32
+	lineBytes uint32
+
+	// The executor reports the same few ranges over and over inside a
+	// hot loop (block body, exit branch, callee); remembering the
+	// recently covered windows avoids a cache probe per iteration — the
+	// lines are resident and their relative recency cannot change while
+	// execution cycles within them. The memo is cleared at each
+	// segment start because detailed windows run between segments and
+	// may evict lines the memo still claims as covered.
+	cov    [4]covRange
+	covIdx int
+
+	cycleRatios  []float64
+	energyRatios []float64
+}
+
+// warm is the fast-forward's fetch witness: functional cache warming.
+// Fast-forwarded code still touches its I-cache lines (without charging
+// time or energy), so each measured window opens on the cache contents
+// the exact run would have. The snapshots bracketing windows make the
+// warming traffic itself invisible to the estimator.
+func (st *sampleState) warm(lo, hi uint32) {
+	for _, r := range st.cov {
+		if lo >= r.lo && hi <= r.hi {
+			return
+		}
+	}
+	l := lo & st.lineMask
+	for a := l; a < hi; a += st.lineBytes {
+		st.c.Access(a)
+	}
+	st.cov[st.covIdx] = covRange{l, hi}
+	st.covIdx = (st.covIdx + 1) & 3
+}
+
+func (st *sampleState) resetWarm() {
+	st.cov = [4]covRange{}
+}
+
 // RunSampled executes the prepared kernel under one configuration with
 // sampled timing: the whole instruction stream runs functionally (so
 // outputs and instruction counts are exact), but only a detailed head
@@ -192,26 +243,29 @@ func (a *sampleSnap) add(d sampleSnap) {
 //
 // Like Run, RunSampled is safe to call concurrently on one Setup.
 func (s *Setup) RunSampled(cfg Config, cal power.Calibration, opt SampleOptions) (*Result, error) {
+	return s.runSampled(cfg, cal, opt, nil)
+}
+
+// RunSampledTraced is RunSampled with a tracing.EventSink attached: the
+// detailed segments stream the same pipeline events a traced full run
+// would, the functional fast-forwards emit one KindSuperblock event per
+// executed batch, and every sampling boundary (head end, warmup start,
+// measure start/end) emits a KindWindow event, so a consumer can tell
+// measured cycles from extrapolated ones. A nil sink is exactly
+// RunSampled. When the run halts before MinWindows measured windows,
+// the fallback exact simulation is traced too (its events follow the
+// aborted sampled prefix's in the same sink, with a fresh meter bound
+// for energy attribution).
+func (s *Setup) RunSampledTraced(cfg Config, cal power.Calibration, opt SampleOptions, sink tracing.EventSink) (*Result, error) {
+	return s.runSampled(cfg, cal, opt, sink)
+}
+
+func (s *Setup) runSampled(cfg Config, cal power.Calibration, opt SampleOptions, sink tracing.EventSink) (*Result, error) {
 	opt = opt.withDefaults()
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
-	var prog *program.Program
-	var im *program.Image
-	var dec *cpu.Decoded
-	var comp *cpu.Compiled
-	switch cfg.ISA {
-	case ISAARM:
-		prog, im, dec, comp = s.Prog, s.ArmImage, s.ArmDecoded, s.ArmCompiled
-	case ISAFITS:
-		prog, im, dec, comp = s.Fits.Lowered, s.Fits.Image, s.FitsDecoded, s.FitsCompiled
-	}
-	if dec == nil {
-		dec = cpu.Predecode(prog, cpu.ImageLayout(im))
-	}
-	if comp == nil {
-		comp = dec.Compiled()
-	}
+	prog, im, dec, comp := s.target(cfg)
 	c, err := cache.New(cfg.Cache)
 	if err != nil {
 		return nil, err
@@ -219,6 +273,9 @@ func (s *Setup) RunSampled(cfg Config, cal power.Calibration, opt SampleOptions)
 	meter, err := power.NewMeter(cfg.Cache, cal)
 	if err != nil {
 		return nil, err
+	}
+	if sink != nil {
+		bindEnergy(sink, meter)
 	}
 	pc := cpu.DefaultPipeConfig()
 	m := cpu.New(prog, cpu.ImageLayout(im))
@@ -229,8 +286,15 @@ func (s *Setup) RunSampled(cfg Config, cal power.Calibration, opt SampleOptions)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s on %s (sampled): %w", s.Kernel.Name, cfg.Name, err)
 	}
+	run.SetSink(sink)
 	wrap := func(err error) error {
 		return fmt.Errorf("sim: %s on %s (sampled): %w", s.Kernel.Name, cfg.Name, err)
+	}
+	boundary := func(code uint8) {
+		if sink != nil {
+			sink.Emit(tracing.Event{Cycle: run.Cycles(), PC: 0,
+				Payload: uint32(m.InstrCount), Kind: tracing.KindWindow, Cause: code})
+		}
 	}
 
 	// Detailed head: the cold-start behaviour is measured exactly.
@@ -238,50 +302,29 @@ func (s *Setup) RunSampled(cfg Config, cal power.Calibration, opt SampleOptions)
 		return nil, wrap(err)
 	}
 	head := takeSnap(&pres, m, c, meter)
+	boundary(tracing.WindowHead)
 
 	ff := opt.PeriodInstrs - opt.WarmupInstrs - opt.WindowInstrs
-	// Functional cache warming: fast-forwarded code still touches its
-	// I-cache lines (without charging time or energy), so each measured
-	// window opens on the cache contents the exact run would have. The
-	// snapshots bracketing windows make the warming traffic itself
-	// invisible to the estimator.
-	lineMask := ^uint32(cfg.Cache.LineBytes - 1)
-	lineBytes := uint32(cfg.Cache.LineBytes)
-	// The executor reports the same few ranges over and over inside a
-	// hot loop (block body, exit branch, callee); remembering the
-	// recently covered windows avoids a cache probe per iteration — the
-	// lines are resident and their relative recency cannot change while
-	// execution cycles within them. The memo is cleared at each
-	// segment start because detailed windows run between segments and
-	// may evict lines the memo still claims as covered.
-	type covRange struct{ lo, hi uint32 }
-	var cov [4]covRange
-	covIdx := 0
-	warm := func(lo, hi uint32) {
-		for _, r := range cov {
-			if lo >= r.lo && hi <= r.hi {
-				return
-			}
-		}
-		l := lo & lineMask
-		for a := l; a < hi; a += lineBytes {
-			c.Access(a)
-		}
-		cov[covIdx] = covRange{l, hi}
-		covIdx = (covIdx + 1) & 3
+	// One allocation for all per-window scratch: the warm-cover memo and
+	// the ratio series, the latter sized from the profiled dynamic
+	// instruction count (a hint — the FITS stream may run slightly
+	// longer or shorter than the profiled ARM one).
+	st := &sampleState{
+		c:        c,
+		lineMask: ^uint32(cfg.Cache.LineBytes - 1), lineBytes: uint32(cfg.Cache.LineBytes),
 	}
-	resetWarm := func() {
-		cov = [4]covRange{}
-	}
+	hint := int(s.Profile.TotalDyn/opt.PeriodInstrs) + 4
+	st.cycleRatios = make([]float64, 0, hint)
+	st.energyRatios = make([]float64, 0, hint)
+	warm := st.warm // bind the method value once, not per fast-forward
 	var wsum sampleSnap
-	var cycleRatios, energyRatios []float64
 	detailed := head.instrs
 	for !m.Halted {
 		// Functional fast-forward on the superblock executor: the
 		// architectural state (and Output) advances exactly; the meter
 		// stands still and the cache sees only warming touches.
-		resetWarm()
-		if err := m.RunSuperblocksWarm(comp, ff, warm); err != nil {
+		st.resetWarm()
+		if err := m.RunSuperblocksTraced(comp, ff, warm, sink); err != nil {
 			return nil, wrap(err)
 		}
 		if m.Halted {
@@ -292,6 +335,7 @@ func (s *Setup) RunSampled(cfg Config, cal power.Calibration, opt SampleOptions)
 		}
 		// Detailed but unmeasured warmup: re-warms the fetch window,
 		// interlocks and cache before measurement resumes.
+		boundary(tracing.WindowWarmup)
 		preWarm := m.InstrCount
 		if err := run.RunUntil(preWarm + opt.WarmupInstrs); err != nil {
 			return nil, wrap(err)
@@ -301,11 +345,13 @@ func (s *Setup) RunSampled(cfg Config, cal power.Calibration, opt SampleOptions)
 			break
 		}
 		// Measured window.
+		boundary(tracing.WindowMeasure)
 		w0 := takeSnap(&pres, m, c, meter)
 		if err := run.RunUntil(w0.instrs + opt.WindowInstrs); err != nil {
 			return nil, wrap(err)
 		}
 		w1 := takeSnap(&pres, m, c, meter)
+		boundary(tracing.WindowEnd)
 		d := w1.sub(w0)
 		detailed += d.instrs
 		if d.instrs == 0 {
@@ -315,22 +361,26 @@ func (s *Setup) RunSampled(cfg Config, cal power.Calibration, opt SampleOptions)
 		// The per-window ratios feeding the variance estimate exclude
 		// miss stalls: miss totals come from the warmed cache's actual
 		// count, not from window extrapolation (see below).
-		cycleRatios = append(cycleRatios, float64(d.pipe.Cycles-d.pipe.FetchStalls)/float64(d.instrs))
-		energyRatios = append(energyRatios, (d.swPJ+d.inPJ+d.lkPJ)/float64(d.instrs))
+		st.cycleRatios = append(st.cycleRatios, float64(d.pipe.Cycles-d.pipe.FetchStalls)/float64(d.instrs))
+		st.energyRatios = append(st.energyRatios, (d.swPJ+d.inPJ+d.lkPJ)/float64(d.instrs))
 	}
 
 	total := m.InstrCount
-	windows := len(cycleRatios)
+	windows := len(st.cycleRatios)
 	if windows < opt.MinWindows {
 		if wsum.instrs == 0 && detailed == total {
 			// The program halted inside the detailed head: this run IS
 			// the exact simulation — no rerun needed.
-			res := &Result{Config: cfg, Pipe: &pres, Cache: c.Stats(), Power: meter.Report()}
+			res := &Result{Config: cfg, Pipe: &pres, Cache: c.Stats(),
+				Power: meter.Report(), AccessPJ: meter.AccessPJ()}
 			res.Sampled = &SampleStats{TotalInstrs: total, DetailedInstrs: total, Exact: true}
 			return res, nil
 		}
-		// Too short to estimate: fall back to the exact full pipeline.
-		res, err := s.Run(cfg, cal)
+		// Too short to estimate: fall back to the exact full pipeline
+		// (traced when a sink is attached, so the event stream and any
+		// bound energy attribution follow the run that produced the
+		// result).
+		res, err := s.RunTraced(cfg, cal, sink)
 		if err != nil {
 			return nil, err
 		}
@@ -433,10 +483,11 @@ func (s *Setup) RunSampled(cfg Config, cal power.Calibration, opt SampleOptions)
 		TotalInstrs:    total,
 		DetailedInstrs: detailed,
 		SampledInstrs:  wsum.instrs,
-		CycleRelCI:     relCI(cycleRatios, float64(wsum.pipe.Cycles-wsum.pipe.FetchStalls)/wi, tail, float64(estCycles)),
-		EnergyRelCI:    relCI(energyRatios, (wsum.swPJ+wsum.inPJ+wsum.lkPJ)/wi, tail, rep.TotalPJ()),
+		CycleRelCI:     relCI(st.cycleRatios, float64(wsum.pipe.Cycles-wsum.pipe.FetchStalls)/wi, tail, float64(estCycles)),
+		EnergyRelCI:    relCI(st.energyRatios, (wsum.swPJ+wsum.inPJ+wsum.lkPJ)/wi, tail, rep.TotalPJ()),
 	}
-	return &Result{Config: cfg, Pipe: pipe, Cache: stats, Power: rep, Sampled: ss}, nil
+	return &Result{Config: cfg, Pipe: pipe, Cache: stats, Power: rep, Sampled: ss,
+		AccessPJ: meter.AccessPJ()}, nil
 }
 
 // relCI returns the half-width of the 95 % confidence interval on an

@@ -173,6 +173,33 @@ type Result struct {
 	// Sampled describes the sampling estimator behind the result when
 	// it came from RunSampled; nil for exact (full-pipeline) runs.
 	Sampled *SampleStats
+
+	// AccessPJ is the power meter's exact running sum of per-access
+	// fetch energies in access order (power.Meter.AccessPJ), covering
+	// every access the run simulated in detail. It is the conservation
+	// anchor of the tracing profiler: a profiler attached to the run
+	// reports TotalPJ() equal to this value bit-for-bit.
+	AccessPJ float64
+}
+
+// target resolves the configuration's ISA to its program, image and
+// shared predecode/compile tables, predecoding per run for Setups
+// constructed outside Prepare (tests, literals) — still once per run
+// rather than once per cycle.
+func (s *Setup) target(cfg Config) (prog *program.Program, im *program.Image, dec *cpu.Decoded, comp *cpu.Compiled) {
+	switch cfg.ISA {
+	case ISAARM:
+		prog, im, dec, comp = s.Prog, s.ArmImage, s.ArmDecoded, s.ArmCompiled
+	case ISAFITS:
+		prog, im, dec, comp = s.Fits.Lowered, s.Fits.Image, s.FitsDecoded, s.FitsCompiled
+	}
+	if dec == nil {
+		dec = cpu.Predecode(prog, cpu.ImageLayout(im))
+	}
+	if comp == nil {
+		comp = dec.Compiled()
+	}
+	return prog, im, dec, comp
 }
 
 // icachePort implements cpu.FetchPort over the cache and power models.
@@ -290,15 +317,7 @@ func (s *Setup) Run(cfg Config, cal power.Calibration) (*Result, error) {
 // Result carries the resulting metrics.Series. Architectural and
 // aggregate results are identical to an unobserved Run.
 func (s *Setup) RunObserved(cfg Config, cal power.Calibration, opt ObserveOptions) (*Result, error) {
-	var prog *program.Program
-	var im *program.Image
-	var dec *cpu.Decoded
-	switch cfg.ISA {
-	case ISAARM:
-		prog, im, dec = s.Prog, s.ArmImage, s.ArmDecoded
-	case ISAFITS:
-		prog, im, dec = s.Fits.Lowered, s.Fits.Image, s.FitsDecoded
-	}
+	prog, im, dec, _ := s.target(cfg)
 	c, err := cache.New(cfg.Cache)
 	if err != nil {
 		return nil, err
@@ -327,17 +346,11 @@ func (s *Setup) RunObserved(cfg Config, cal power.Calibration, opt ObserveOption
 		obs = sampler
 	}
 	port := NewObservedFetchPort(c, meter, im, pc.BlockBytes, obs)
-	if dec == nil {
-		// Setups constructed outside Prepare (tests, literals) have no
-		// shared table; predecode per run, which is still once per run
-		// rather than once per cycle.
-		dec = cpu.Predecode(prog, cpu.ImageLayout(im))
-	}
 	pipe, err := cpu.RunPipelineDecoded(m, pc, port, dec)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s on %s: %w", s.Kernel.Name, cfg.Name, err)
 	}
-	res := &Result{Config: cfg, Pipe: pipe, Cache: c.Stats(), Power: meter.Report()}
+	res := &Result{Config: cfg, Pipe: pipe, Cache: c.Stats(), Power: meter.Report(), AccessPJ: meter.AccessPJ()}
 	if sampler != nil {
 		res.Phases = sampler.Series()
 	}

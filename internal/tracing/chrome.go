@@ -1,0 +1,222 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Chrome trace-event export: the captured event stream rendered as the
+// JSON Object Format consumed by chrome://tracing and Perfetto. Each
+// event kind gets its own lane (a tid under one pid, named via "M"
+// thread_name metadata records), timestamps are pipeline cycles — not
+// wall clock — so the export is deterministic and diffable, and misses
+// render as complete ("X") spans whose duration is the stall they
+// caused. The golden-file test in internal/sim pins the exact bytes
+// for crc32 at scale 1.
+
+// Lane tids. Lanes appear in the export in this order.
+const (
+	laneFetch = iota + 1
+	laneMiss
+	laneStall
+	laneBranch
+	laneSuperblock
+	laneWindow
+	numLanes = laneWindow
+)
+
+var laneNames = [numLanes + 1]string{"", "fetch", "miss", "stall", "branch", "superblock", "window"}
+
+// lane maps an event to its display lane.
+func lane(k Kind) int {
+	switch k {
+	case KindFetch:
+		return laneFetch
+	case KindMiss:
+		return laneMiss
+	case KindStall:
+		return laneStall
+	case KindBranch, KindMispredict:
+		return laneBranch
+	case KindSuperblock:
+		return laneSuperblock
+	case KindWindow:
+		return laneWindow
+	}
+	return 0
+}
+
+// ChromeEvent is one trace-event record of the JSON Object Format. The
+// subset used here: "M" metadata records naming the lanes, "X" complete
+// events with a duration (fetches, misses, stalls, mispredicts) and "i"
+// instants (branches, superblock entries, window boundaries).
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the exported document: the standard traceEvents array
+// plus an otherData block attributing the capture (kernel, config, and
+// the ring's drop accounting so a truncated capture is self-describing).
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// TraceMeta attributes a Chrome export.
+type TraceMeta struct {
+	Kernel string
+	Config string
+	// Total and Dropped are the emitting ring's accounting: how many
+	// events the run produced and how many the capture overwrote.
+	Total   uint64
+	Dropped uint64
+}
+
+// BuildChromeTrace renders the event stream (oldest-first) into the
+// trace-event document. One cycle maps to one microsecond of trace
+// time, which keeps timestamps integral and zooming sane in the viewer.
+func BuildChromeTrace(events []Event, meta TraceMeta) *ChromeTrace {
+	doc := &ChromeTrace{
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]string{
+			"kernel":       meta.Kernel,
+			"config":       meta.Config,
+			"time_unit":    "1us = 1 pipeline cycle",
+			"total_events": fmt.Sprint(meta.Total),
+			"dropped":      fmt.Sprint(meta.Dropped),
+		},
+		TraceEvents: make([]ChromeEvent, 0, len(events)+numLanes),
+	}
+	for tid := 1; tid <= numLanes; tid++ {
+		doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": laneNames[tid]},
+		})
+	}
+	for _, e := range events {
+		ce := ChromeEvent{Pid: 1, Tid: lane(e.Kind), Ts: e.Cycle}
+		pc := fmt.Sprintf("%#08x", e.PC)
+		switch e.Kind {
+		case KindFetch:
+			ce.Name, ce.Ph, ce.Dur = "fetch", "X", 1
+			ce.Args = map[string]any{"pc": pc}
+		case KindMiss:
+			ce.Name, ce.Ph, ce.Dur = "miss", "X", 1+uint64(e.Payload)
+			ce.Args = map[string]any{"pc": pc, "stall_cycles": e.Payload}
+		case KindStall:
+			ce.Name, ce.Ph, ce.Dur = "stall:"+CauseName(e.Cause), "X", 1
+			ce.Args = map[string]any{"pc": pc, "cause": CauseName(e.Cause)}
+		case KindBranch:
+			ce.Name, ce.Ph, ce.S = "branch", "i", "t"
+			ce.Args = map[string]any{"pc": pc, "taken": e.Payload != 0}
+		case KindMispredict:
+			ce.Name, ce.Ph, ce.Dur = "mispredict", "X", uint64(e.Payload)
+			ce.Args = map[string]any{"pc": pc, "penalty": e.Payload}
+		case KindSuperblock:
+			ce.Name, ce.Ph, ce.S = "superblock", "i", "t"
+			ce.Args = map[string]any{"pc": pc, "bytes": e.Payload, "instr_count": e.Cycle}
+		case KindWindow:
+			names := [...]string{"head-end", "warmup-start", "measure-start", "measure-end"}
+			n := "window"
+			if int(e.Cause) < len(names) {
+				n = "window:" + names[e.Cause]
+			}
+			ce.Name, ce.Ph, ce.S = n, "i", "t"
+			ce.Args = map[string]any{"instrs_lo": e.Payload}
+		default:
+			continue
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ce)
+	}
+	return doc
+}
+
+// WriteChromeTrace writes the document as indented JSON (indented so
+// the golden-file diff in tests reads as lines, not one blob).
+func WriteChromeTrace(w io.Writer, events []Event, meta TraceMeta) error {
+	blob, err := json.MarshalIndent(BuildChromeTrace(events, meta), "", " ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(blob, '\n'))
+	return err
+}
+
+// WriteChromeTraceFile writes the export to path.
+func WriteChromeTraceFile(path string, events []Event, meta TraceMeta) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteChromeTrace(f, events, meta); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ValidateChromeTrace decodes a Chrome trace-event document and checks
+// the schema this package emits: a known phase on every record, lanes
+// declared via thread_name metadata, and the fetch, miss and stall
+// lanes present (the acceptance contract of `powerfits trace`; the
+// remaining lanes are declared too but carry events only when the run
+// produced them). It returns the decoded document so callers can
+// report lane/event counts.
+func ValidateChromeTrace(r io.Reader) (*ChromeTrace, error) {
+	var doc ChromeTrace
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("tracing: decoding chrome trace: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return nil, fmt.Errorf("tracing: chrome trace has no events")
+	}
+	lanes := map[string]bool{}
+	for i := range doc.TraceEvents {
+		ce := &doc.TraceEvents[i]
+		switch ce.Ph {
+		case "M":
+			if ce.Name != "thread_name" {
+				return nil, fmt.Errorf("tracing: unexpected metadata record %q", ce.Name)
+			}
+			name, _ := ce.Args["name"].(string)
+			if name == "" {
+				return nil, fmt.Errorf("tracing: thread_name metadata without a name")
+			}
+			lanes[name] = true
+		case "X", "i":
+			if ce.Tid < 1 || ce.Tid > numLanes {
+				return nil, fmt.Errorf("tracing: event %q on undeclared lane tid %d", ce.Name, ce.Tid)
+			}
+		default:
+			return nil, fmt.Errorf("tracing: unsupported phase %q on event %q", ce.Ph, ce.Name)
+		}
+	}
+	for _, want := range []string{"fetch", "miss", "stall"} {
+		if !lanes[want] {
+			return nil, fmt.Errorf("tracing: required lane %q missing", want)
+		}
+	}
+	return &doc, nil
+}
+
+// ValidateChromeTraceFile validates the export at path.
+func ValidateChromeTraceFile(path string) (*ChromeTrace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ValidateChromeTrace(f)
+}

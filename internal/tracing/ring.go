@@ -1,0 +1,80 @@
+package tracing
+
+import "fmt"
+
+// Ring is a bounded EventSink: the most recent Capacity events are
+// kept, older ones are overwritten, and the overwrites are accounted
+// (Dropped) so a consumer always knows whether the capture is the whole
+// stream or a suffix. The buffer is allocated once at construction;
+// Emit is an index increment and a 24-byte store, with no allocation
+// and no branch on the drop path beyond the wrap check.
+type Ring struct {
+	buf     []Event
+	head    int    // index of the oldest stored event
+	n       int    // stored events (≤ cap)
+	total   uint64 // events ever emitted
+	dropped uint64 // events overwritten (total - n once full)
+}
+
+// NewRing returns a ring holding at most capacity events.
+func NewRing(capacity int) (*Ring, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("tracing: non-positive ring capacity %d", capacity)
+	}
+	return &Ring{buf: make([]Event, capacity)}, nil
+}
+
+// MustNewRing is NewRing but panics on error.
+func MustNewRing(capacity int) *Ring {
+	r, err := NewRing(capacity)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Emit implements EventSink: append, overwriting the oldest event when
+// the ring is full.
+func (r *Ring) Emit(e Event) {
+	r.total++
+	if r.n < len(r.buf) {
+		i := r.head + r.n
+		if i >= len(r.buf) {
+			i -= len(r.buf)
+		}
+		r.buf[i] = e
+		r.n++
+		return
+	}
+	r.buf[r.head] = e
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.dropped++
+}
+
+// Len returns the number of stored events.
+func (r *Ring) Len() int { return r.n }
+
+// Capacity returns the ring's fixed capacity.
+func (r *Ring) Capacity() int { return len(r.buf) }
+
+// Total returns the number of events ever emitted.
+func (r *Ring) Total() uint64 { return r.total }
+
+// Dropped returns the number of events overwritten before they could be
+// read — 0 means Events() is the complete stream.
+func (r *Ring) Dropped() uint64 { return r.dropped }
+
+// Events returns the stored events oldest-first as a fresh slice.
+func (r *Ring) Events() []Event {
+	out := make([]Event, r.n)
+	end := r.head + r.n
+	if end > len(r.buf) {
+		end = len(r.buf)
+	}
+	tail := copy(out, r.buf[r.head:end])
+	copy(out[tail:], r.buf[:r.n-tail])
+	return out
+}
