@@ -20,8 +20,8 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (parallel engine + sim) =="
-go test -race ./internal/sim ./internal/experiments
+echo "== go test -race (parallel engine + sim + telemetry) =="
+go test -race ./internal/sim ./internal/experiments ./internal/telemetry ./cmd/internal/cli
 
 echo "== benchmark smoke: fetch port stays allocation-free =="
 bench=$(go test -run=NONE -bench=BenchmarkFetchPort -benchtime=10x -benchmem .)
@@ -88,6 +88,39 @@ trap 'rm -rf "$trace_tmp"' EXIT
 go run ./cmd/powerfits trace -kernel crc32 -config FITS8 -scale 1 -o "$trace_tmp/trace.json"
 go run ./cmd/powerfits trace -check -in "$trace_tmp/trace.json"
 
+echo "== telemetry plane: live scrape of a running suite =="
+# Boots a scale-1 suite with the embedded debug server on an ephemeral
+# port (the -telemetry-addrfile handshake publishes it), scrapes
+# /metrics and /healthz while the server is up, and strict-parses both
+# payloads with `powerfits scrape`. -telemetry-linger holds the server
+# past suite completion so the scrapes always catch the final state.
+tele_tmp=$(mktemp -d)
+trap 'rm -rf "$tele_tmp" "$trace_tmp"' EXIT
+go build -o "$tele_tmp/fitsbench" ./cmd/fitsbench
+go build -o "$tele_tmp/powerfits" ./cmd/powerfits
+"$tele_tmp/fitsbench" -scale 1 -q -exp headline \
+    -telemetry 127.0.0.1:0 -telemetry-addrfile "$tele_tmp/addr" \
+    -telemetry-linger 5s >/dev/null 2>"$tele_tmp/fitsbench.log" &
+tele_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    if [ -s "$tele_tmp/addr" ]; then addr=$(cat "$tele_tmp/addr"); break; fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "ci.sh: telemetry server never published its address" >&2
+    cat "$tele_tmp/fitsbench.log" >&2
+    kill "$tele_pid" 2>/dev/null || true
+    exit 1
+fi
+"$tele_tmp/powerfits" scrape -url "http://$addr/metrics"
+"$tele_tmp/powerfits" scrape -url "http://$addr/healthz" -health
+if ! wait "$tele_pid"; then
+    echo "ci.sh: instrumented fitsbench run failed" >&2
+    cat "$tele_tmp/fitsbench.log" >&2
+    exit 1
+fi
+
 echo "== regression gate: scale-1 suite vs committed baseline =="
 # Archives a fresh scale-1 run and diffs it against testdata/baseline.json.
 # Any figure or per-kernel metric moving in the wrong direction fails the
@@ -95,7 +128,7 @@ echo "== regression gate: scale-1 suite vs committed baseline =="
 # refresh the baseline with:
 #   go run ./cmd/fitsbench -scale 1 -q -exp headline -archive testdata/baseline.json
 gate_tmp=$(mktemp -d)
-trap 'rm -rf "$gate_tmp" "$trace_tmp"' EXIT
+trap 'rm -rf "$gate_tmp" "$trace_tmp" "$tele_tmp"' EXIT
 go run ./cmd/fitsbench -scale 1 -q -exp headline -archive "$gate_tmp/current.json" >/dev/null
 go run ./cmd/powerfits diff -base testdata/baseline.json -new "$gate_tmp/current.json"
 

@@ -17,19 +17,30 @@
 //	fitsbench -cpuprofile cpu.pprof -memprofile mem.pprof -trace run.trace
 //	fitsbench -pipebench BENCH_pipeline.json   # timing-loop perf trajectory record (diffs vs an existing record)
 //	fitsbench -superblocks -sample    # fast path: fused-superblock profiling + sampled timing
+//	fitsbench -telemetry :6060        # live /metrics, /healthz, /progress, /debug/pprof while the run is up
+//	fitsbench -log-level debug -log-json   # structured engine/preparation logs
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
+	"powerfits/cmd/internal/cli"
 	"powerfits/internal/archive"
 	"powerfits/internal/experiments"
+	"powerfits/internal/kernels"
 	"powerfits/internal/metrics"
 	"powerfits/internal/sim"
 )
+
+// log is the run logger; set in main before any fallible work.
+var log *slog.Logger
+
+// tele is the embedded telemetry server (nil without -telemetry).
+var tele *cli.Telemetry
 
 // stopProfiles flushes any active -cpuprofile/-memprofile/-trace
 // output; fatal routes through it so profiles survive error exits.
@@ -37,14 +48,16 @@ var stopProfiles = func() error { return nil }
 
 func fatal(err error) {
 	_ = stopProfiles()
-	fmt.Fprintln(os.Stderr, "fitsbench:", err)
+	tele.Finish(err)
+	tele.CloseNow()
+	log.Error("fitsbench failed", "err", err)
 	os.Exit(1)
 }
 
 // finish flushes the profiling hooks on the success path.
 func finish() {
 	if err := stopProfiles(); err != nil {
-		fmt.Fprintln(os.Stderr, "fitsbench:", err)
+		log.Error("flushing profiles failed", "err", err)
 		os.Exit(1)
 	}
 }
@@ -79,20 +92,22 @@ func exportSuite(man *metrics.Manifest, scale int, suite *experiments.Suite,
 		if err := exp.WriteJSONFile(metricsPath); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", metricsPath)
+		log.Info("wrote metrics export", "path", metricsPath)
 	}
 	if phasesPath != "" {
 		if err := metrics.WritePhasesCSVFile(phasesPath, runs); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", phasesPath)
+		log.Info("wrote phase series", "path", phasesPath)
 	}
 }
 
 // archiveSuite writes the complete run record. A path ending in .json
 // lands exactly there (the CI baseline workflow); anything else is
 // treated as a run-store directory and the record is filed under its
-// deterministic run ID.
+// deterministic run ID. Store destinations additionally publish the
+// store's run-count/byte gauges onto the suite registry, so they ride
+// into any later -metrics export and the telemetry /metrics page.
 func archiveSuite(man *metrics.Manifest, scale int, suite *experiments.Suite, dest string) {
 	rec := archive.FromSuite(man, suite, scale)
 	man.Finish()
@@ -101,38 +116,53 @@ func archiveSuite(man *metrics.Manifest, scale int, suite *experiments.Suite, de
 	if strings.HasSuffix(dest, ".json") {
 		err = rec.WriteFile(dest)
 	} else {
-		path, err = archive.NewStore(dest).Save(rec)
+		st := archive.NewStore(dest)
+		path, err = st.Save(rec)
+		if err == nil {
+			if serr := st.PublishStats(suite.Metrics.Scope("archive")); serr != nil {
+				log.Warn("archive store stats unavailable", "err", serr)
+			}
+		}
 	}
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "archived run %s to %s\n", rec.RunID, path)
+	log.Info("archived run", "run_id", rec.RunID, "path", path)
 }
 
 func main() {
+	fs := flag.NewFlagSet("fitsbench", flag.ContinueOnError)
 	var (
-		scale       = flag.Int("scale", 0, "workload scale (0 = per-kernel default)")
-		exp         = flag.String("exp", "all", "experiment id: all, figs, fig3..fig14, headline, ablations, ablate-opwidth, ablate-dict, ablate-regs, ablate-mode")
-		quiet       = flag.Bool("q", false, "suppress progress output")
-		jobs        = flag.Int("j", 0, "parallel workers (0 = all cores, 1 = sequential)")
-		jsonPath    = flag.String("json", "", "write suite timing and headline averages as JSON to this path")
-		archiveTo   = flag.String("archive", "", "archive the complete run record: a .json path, or a run-store directory")
-		metricsPath = flag.String("metrics", "", "write manifest + suite registry + phase series as JSON")
-		phasesPath  = flag.String("phases", "", "write every run's phase series as CSV")
-		window      = flag.Int("window", 4096, "phase-sample window in cycles (with -metrics/-phases)")
-		cpuProf     = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
-		memProf     = flag.String("memprofile", "", "write a pprof heap profile to this path")
-		traceOut    = flag.String("trace", "", "write a runtime/trace execution trace to this path")
-		pipeBench   = flag.String("pipebench", "", "benchmark the predecoded timing loop and write BENCH_pipeline.json-style output to this path, then exit; if the path already holds a record, a per-entry delta table is printed first")
-		pipeKernel  = flag.String("pipebench-kernel", "crc32", "kernel the -pipebench loop runs")
-		superblocks = flag.Bool("superblocks", false, "profile kernels through the fused superblock executor (identical profiles, faster preparation)")
-		sample      = flag.Bool("sample", false, "replace full pipeline runs with the sampled timing estimator (exact outputs, ≤2% validated cycle/energy error)")
+		scale       = fs.Int("scale", 0, "workload scale (0 = per-kernel default)")
+		exp         = fs.String("exp", "all", "experiment id: all, figs, fig3..fig14, headline, ablations, ablate-opwidth, ablate-dict, ablate-regs, ablate-mode")
+		quiet       = fs.Bool("q", false, "suppress progress output")
+		jobs        = fs.Int("j", 0, "parallel workers (0 = all cores, 1 = sequential)")
+		jsonPath    = fs.String("json", "", "write suite timing and headline averages as JSON to this path")
+		archiveTo   = fs.String("archive", "", "archive the complete run record: a .json path, or a run-store directory")
+		metricsPath = fs.String("metrics", "", "write manifest + suite registry + phase series as JSON")
+		phasesPath  = fs.String("phases", "", "write every run's phase series as CSV")
+		window      = fs.Int("window", 4096, "phase-sample window in cycles (with -metrics/-phases)")
+		cpuProf     = fs.String("cpuprofile", "", "write a pprof CPU profile to this path")
+		memProf     = fs.String("memprofile", "", "write a pprof heap profile to this path")
+		traceOut    = fs.String("trace", "", "write a runtime/trace execution trace to this path")
+		pipeBench   = fs.String("pipebench", "", "benchmark the predecoded timing loop and write BENCH_pipeline.json-style output to this path, then exit; if the path already holds a record, a per-entry delta table is printed first")
+		pipeKernel  = fs.String("pipebench-kernel", "crc32", "kernel the -pipebench loop runs")
+		superblocks = fs.Bool("superblocks", false, "profile kernels through the fused superblock executor (identical profiles, faster preparation)")
+		sample      = fs.Bool("sample", false, "replace full pipeline runs with the sampled timing estimator (exact outputs, ≤2% validated cycle/energy error)")
 	)
-	flag.Parse()
+	tf := cli.RegisterFlags(fs)
+	log = cli.Parse("fitsbench", fs, tf, os.Args[1:])
 
 	if *sample && (*metricsPath != "" || *phasesPath != "") {
 		fatal(fmt.Errorf("-sample is incompatible with -metrics/-phases: phase series require a full detailed run"))
 	}
+
+	var err error
+	tele, err = tf.Start(log, nil)
+	if err != nil {
+		fatal(err)
+	}
+	defer tele.Close()
 
 	if *pipeBench != "" {
 		if err := runPipeBench(*pipeBench, *pipeKernel, *scale); err != nil {
@@ -144,15 +174,16 @@ func main() {
 	stop, err := metrics.StartProfiles(metrics.ProfileConfig{
 		CPUProfile: *cpuProf, MemProfile: *memProf, Trace: *traceOut})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fitsbench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	stopProfiles = stop
 	defer finish()
 
-	progress := func(line string) { fmt.Fprintln(os.Stderr, line) }
-	if *quiet {
-		progress = nil
+	var progress experiments.ProgressFunc
+	if !*quiet {
+		// The raw heartbeat line is a pinned format (TestHeartbeatFormat);
+		// it stays a byte-exact stderr line, not a structured record.
+		progress = experiments.LineProgress(func(line string) { cli.Rawln(line) })
 	}
 
 	want := strings.ToLower(*exp)
@@ -171,15 +202,18 @@ func main() {
 		if *metricsPath != "" || *phasesPath != "" {
 			observe.WindowCycles = *window
 		}
+		tele.Begin(len(kernels.All()))
 		suite, err := experiments.RunSuite(experiments.Options{
-			Scale: *scale, Workers: *jobs, Progress: progress, Observe: observe,
+			Scale: *scale, Workers: *jobs,
+			Progress: experiments.MultiProgress(progress, tele.Progress()),
+			Log:      log, Observe: observe,
 			Superblocks: *superblocks, Sampled: *sample})
 		if err != nil {
 			fatal(err)
 		}
+		tele.Finish(nil)
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "suite generated in %.2fs with %d workers\n",
-				suite.WallSec, suite.Workers)
+			log.Info("suite generated", "wall_sec", suite.WallSec, "workers", suite.Workers)
 		}
 		for _, t := range suite.AllFigures() {
 			if want == "all" || want == "figs" || want == t.ID || strings.HasPrefix(t.ID, want) {
@@ -194,7 +228,7 @@ func main() {
 			if err := rep.WriteFile(*jsonPath); err != nil {
 				fatal(err)
 			}
-			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+			log.Info("wrote bench report", "path", *jsonPath)
 		}
 		if *archiveTo != "" {
 			archiveSuite(man, *scale, suite, *archiveTo)
@@ -202,6 +236,9 @@ func main() {
 		if *metricsPath != "" || *phasesPath != "" {
 			exportSuite(man, *scale, suite, *metricsPath, *phasesPath)
 		}
+		// Fold the suite's merged registry into the served one so a
+		// lingering /metrics scrape sees the complete run.
+		tele.Merge(suite.Metrics)
 	} else if *jsonPath != "" || *metricsPath != "" || *phasesPath != "" || *archiveTo != "" {
 		fatal(fmt.Errorf("-json/-metrics/-phases/-archive require a suite experiment (not ablations/extensions)"))
 	}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"powerfits/cmd/internal/cli"
 	"powerfits/internal/cache"
 	"powerfits/internal/cpu"
 	"powerfits/internal/kernels"
@@ -135,7 +136,7 @@ func (rep *pipeBenchReport) record(name string, r testing.BenchmarkResult) *pipe
 	if e.InstrsPerSec > 0 {
 		rate, unit = e.InstrsPerSec, "instrs/s"
 	}
-	fmt.Fprintf(os.Stderr, "%-32s %12.0f ns/op %14.0f %-8s %4d allocs/op\n",
+	cli.Raw("%-32s %12.0f ns/op %14.0f %-8s %4d allocs/op\n",
 		e.Name, e.NsPerOp, rate, unit, e.AllocsPerOp)
 	return &rep.Entries[len(rep.Entries)-1]
 }
@@ -191,7 +192,7 @@ func runPipeBench(path, kernel string, scale int) error {
 		if sampled != nil {
 			e.CycleErrPct = 100 * math.Abs(float64(sampled.Pipe.Cycles)-float64(exact.Pipe.Cycles)) /
 				float64(exact.Pipe.Cycles)
-			fmt.Fprintf(os.Stderr, "%-32s %12s cycle error %.3f%%\n", "", "", e.CycleErrPct)
+			cli.Raw("%-32s %12s cycle error %.3f%%\n", "", "", e.CycleErrPct)
 		}
 	}
 
@@ -221,7 +222,7 @@ func runPipeBench(path, kernel string, scale int) error {
 	if prev, err := readPipeBench(path); err == nil {
 		comparePipeBench(prev, &rep)
 	} else if !os.IsNotExist(err) {
-		fmt.Fprintf(os.Stderr, "pipebench: cannot diff against %s: %v\n", path, err)
+		log.Warn("cannot diff against previous pipebench record", "path", path, "err", err)
 	}
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
@@ -231,7 +232,7 @@ func runPipeBench(path, kernel string, scale int) error {
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	log.Info("wrote pipebench record", "path", path)
 	return nil
 }
 

@@ -1,0 +1,43 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoRawStderrInCommands greps both command trees for direct
+// os.Stderr use — the stderr-discipline audit. Every diagnostic goes
+// through the run logger and every pinned-format line through
+// Raw/Rawln, so the only file allowed to name os.Stderr under cmd/ is
+// this package's cli.go (the sanctioned funnel).
+func TestNoRawStderrInCommands(t *testing.T) {
+	root := filepath.Join("..", "..") // cmd/
+	allowed := map[string]bool{
+		filepath.Join(root, "internal", "cli", "cli.go"): true,
+	}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		// Tests may capture or name os.Stderr; the discipline governs
+		// what the binaries themselves emit.
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(blob), "\n") {
+			if strings.Contains(line, "os.Stderr") && !allowed[path] {
+				t.Errorf("%s:%d writes to os.Stderr directly; use the run logger or cli.Raw/Rawln", path, i+1)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,8 +7,10 @@ import (
 	"strconv"
 	"strings"
 
+	"powerfits/cmd/internal/cli"
 	"powerfits/internal/archive"
 	"powerfits/internal/experiments"
+	"powerfits/internal/kernels"
 	"powerfits/internal/metrics"
 )
 
@@ -61,8 +63,9 @@ func cmdDiff(o diffOpts) bool {
 	var rec *archive.Record
 	switch {
 	case o.Live:
-		fmt.Fprintf(os.Stderr, "powerfits: running live suite at scale %d for the new side\n", base.Scale)
-		suite, serr := experiments.RunSuite(experiments.Options{Scale: base.Scale, Workers: o.Jobs})
+		log.Info("running live suite for the new side", "scale", base.Scale)
+		suite, serr := experiments.RunSuite(experiments.Options{
+			Scale: base.Scale, Workers: o.Jobs, Log: log})
 		if serr != nil {
 			fatal(serr)
 		}
@@ -128,17 +131,26 @@ func cmdArchive(dir string, list bool, scale, jobs int) {
 	}
 
 	man := metrics.NewManifest("powerfits")
-	progress := func(line string) { fmt.Fprintln(os.Stderr, line) }
-	suite, err := experiments.RunSuite(experiments.Options{Scale: scale, Workers: jobs, Progress: progress})
+	progress := experiments.LineProgress(func(line string) { cli.Rawln(line) })
+	tele.Begin(len(kernels.All()))
+	suite, err := experiments.RunSuite(experiments.Options{Scale: scale, Workers: jobs,
+		Progress: experiments.MultiProgress(progress, tele.Progress()), Log: log})
 	if err != nil {
 		fatal(err)
 	}
+	tele.Finish(nil)
 	rec := archive.FromSuite(man, suite, scale)
 	man.Finish()
 	path, err := st.Save(rec)
 	if err != nil {
 		fatal(err)
 	}
+	// Surface the store's size on the suite registry (and, live, on
+	// /metrics) now that the record landed.
+	if serr := st.PublishStats(suite.Metrics.Scope("archive")); serr != nil {
+		log.Warn("archive store stats unavailable", "err", serr)
+	}
+	tele.Merge(suite.Metrics)
 	fmt.Printf("archived run %s (scale %d, %d figures, %d kernel runs) to %s\n",
 		rec.RunID, rec.Scale, len(rec.Figures), len(rec.Kernels), path)
 }

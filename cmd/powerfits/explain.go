@@ -75,7 +75,7 @@ func cmdExplain(kernelName string, scale, op int, savePath, inPath, dir string) 
 		if err := rec.WriteFile(savePath); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "powerfits: wrote trace record %s to %s\n", rec.RunID, savePath)
+		log.Info("wrote trace record", "run_id", rec.RunID, "path", savePath)
 	}
 }
 

@@ -27,19 +27,28 @@
 //	               [-tol F] [-tol-for k=v,...] [-json]     # (exits 1 on regression)
 //	powerfits explain -kernel crc32 [-op N] [-save t.json] # synthesis decision log
 //	powerfits explain -in <id|file>                        # replay an archived trace
+//	powerfits scrape -url http://host:port/metrics [-o out]  # fetch + strict-parse a live exposition
+//	powerfits scrape -url http://host:port/healthz -health   # liveness probe
+//
+// Every subcommand also accepts -log-level/-log-json (structured run
+// logging) and -telemetry addr (serve /metrics, /healthz, /progress,
+// /debug/pprof for the duration of the command).
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
+	"powerfits/cmd/internal/cli"
 	"powerfits/internal/asm"
 	"powerfits/internal/cpu"
+	"powerfits/internal/experiments"
 	"powerfits/internal/isa/fits"
 	"powerfits/internal/kernels"
 	"powerfits/internal/metrics"
@@ -51,9 +60,15 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: powerfits <list|info|isa|disasm|dump|run|report|trace|profile|asm|sweep|config|archive|diff|explain> [flags]")
+	cli.Rawln("usage: powerfits <list|info|isa|disasm|dump|run|report|trace|profile|asm|sweep|config|archive|diff|explain|scrape> [flags]")
 	os.Exit(2)
 }
+
+// log is the run logger; set in main right after flag parsing.
+var log *slog.Logger
+
+// tele is the embedded telemetry server (nil without -telemetry).
+var tele *cli.Telemetry
 
 // stopProfiles flushes any active -cpuprofile/-memprofile/-trace
 // output; fatal routes through it so profiles survive error exits.
@@ -95,13 +110,21 @@ func main() {
 	cpuProf := fs.String("cpuprofile", "", "write a pprof CPU profile to this path")
 	memProf := fs.String("memprofile", "", "write a pprof heap profile to this path")
 	traceOut := fs.String("trace", "", "write a runtime/trace execution trace to this path")
-	if err := fs.Parse(os.Args[2:]); err != nil {
-		// flag has already printed the error (or the -h help text) and
-		// the defaults; exit rather than run with a half-parsed line.
-		if errors.Is(err, flag.ErrHelp) {
-			os.Exit(0)
-		}
-		os.Exit(2)
+	url := fs.String("url", "", "telemetry endpoint to fetch (scrape command)")
+	health := fs.Bool("health", false, "treat the response as a /healthz JSON document instead of a Prometheus exposition (scrape command)")
+	tf := cli.RegisterFlags(fs)
+	log = cli.Parse("powerfits", fs, tf, os.Args[2:])
+
+	var err error
+	tele, err = tf.Start(log, nil)
+	if err != nil {
+		fatal(err)
+	}
+	defer tele.Close()
+
+	if cmd == "scrape" {
+		cmdScrape(*url, *outPath, *health)
+		return
 	}
 
 	stop, err := metrics.StartProfiles(metrics.ProfileConfig{
@@ -135,6 +158,7 @@ func main() {
 			TolFor: *tolFor, Live: *live, JSON: *jsonOut, Jobs: *jobs, Top: *topN})
 		finish()
 		if !ok {
+			tele.Close()
 			os.Exit(1)
 		}
 		return
@@ -167,14 +191,14 @@ func main() {
 			fatal(perr)
 		}
 		s, err = sim.PrepareWith(userKernel(p), 1, sim.PrepareOptions{
-			Synth: synth.DefaultOptions(), Superblocks: *superblocks})
+			Synth: synth.DefaultOptions(), Superblocks: *superblocks, Log: log})
 	} else {
 		k, kerr := kernels.Get(*kernel)
 		if kerr != nil {
 			fatal(kerr)
 		}
 		s, err = sim.PrepareWith(k, *scale, sim.PrepareOptions{
-			Synth: synth.DefaultOptions(), Superblocks: *superblocks})
+			Synth: synth.DefaultOptions(), Superblocks: *superblocks, Log: log})
 	}
 	if err != nil {
 		fatal(err)
@@ -206,7 +230,7 @@ func main() {
 		if _, err := os.Stdout.Write(blob); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "powerfits: wrote %d bytes of decoder configuration\n", len(blob))
+		log.Info("wrote decoder configuration", "bytes", len(blob))
 	default:
 		usage()
 	}
@@ -216,7 +240,7 @@ func main() {
 // finish flushes the profiling hooks on the success path.
 func finish() {
 	if err := stopProfiles(); err != nil {
-		fmt.Fprintln(os.Stderr, "powerfits:", err)
+		log.Error("flushing profiles failed", "err", err)
 		os.Exit(1)
 	}
 }
@@ -308,9 +332,11 @@ func userKernel(p *program.Program) kernels.Kernel {
 
 func fatal(err error) {
 	if perr := stopProfiles(); perr != nil {
-		fmt.Fprintln(os.Stderr, "powerfits:", perr)
+		log.Error("flushing profiles failed", "err", perr)
 	}
-	fmt.Fprintln(os.Stderr, "powerfits:", err)
+	tele.Finish(err)
+	tele.CloseNow()
+	log.Error("powerfits failed", "err", err)
 	os.Exit(1)
 }
 
@@ -421,6 +447,8 @@ func run(s *sim.Setup, cfgName string, out runOutputs) {
 	}
 	man := metrics.NewManifest("powerfits")
 	cal := power.DefaultCalibration()
+	tele.Begin(1)
+	started := time.Now()
 	var r *sim.Result
 	if out.Sample {
 		if out.Metrics != "" || out.Phases != "" {
@@ -436,6 +464,12 @@ func run(s *sim.Setup, cfgName string, out runOutputs) {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if tele != nil {
+		publishRun(tele.Scope("run", s.Kernel.Name, cfg.Name), r)
+		tele.Publish(experiments.ProgressEvent{Kernel: s.Kernel.Name, Done: 1, Total: 1,
+			DynInstrs: r.Pipe.Instrs, Elapsed: time.Since(started)})
+		tele.Finish(nil)
 	}
 	if out.Metrics != "" || out.Phases != "" {
 		exportRun(s, cfg, cal, r, man, out)
@@ -472,7 +506,30 @@ func exportRun(s *sim.Setup, cfg sim.Config, cal power.Calibration, r *sim.Resul
 	man.ConfigHash = metrics.HashConfig(s.Synth.Spec.MarshalConfig(), man.Calibration)
 
 	reg := metrics.NewRegistry()
-	sc := reg.Scope("run", s.Kernel.Name, cfg.Name)
+	publishRun(reg.Scope("run", s.Kernel.Name, cfg.Name), r)
+
+	runs := []metrics.RunExport{{Kernel: s.Kernel.Name, Config: cfg.Name,
+		Series: r.Phases, Stalls: sim.Stalls(r.Pipe)}}
+	if out.Metrics != "" {
+		man.Finish()
+		exp := &metrics.Export{Manifest: man, Registry: reg.Snapshot(), Runs: runs}
+		if err := exp.WriteJSONFile(out.Metrics); err != nil {
+			fatal(err)
+		}
+		log.Info("wrote metrics export", "path", out.Metrics)
+	}
+	if out.Phases != "" {
+		if err := metrics.WritePhasesCSVFile(out.Phases, runs); err != nil {
+			fatal(err)
+		}
+		log.Info("wrote phase series", "path", out.Phases)
+	}
+}
+
+// publishRun exports one run's architectural and power results as
+// registry instruments on sc — shared by the -metrics export and the
+// live telemetry registry.
+func publishRun(sc metrics.Scope, r *sim.Result) {
 	sc.Counter("cycles").Add(r.Pipe.Cycles)
 	sc.Counter("instrs").Add(r.Pipe.Instrs)
 	sc.Counter("fetches").Add(r.Cache.Accesses)
@@ -487,23 +544,6 @@ func exportRun(s *sim.Setup, cfg sim.Config, cal power.Calibration, r *sim.Resul
 	sc.Gauge("peak_power_w").Set(r.Power.PeakPowerW)
 	sc.Gauge("ipc").Set(r.Pipe.IPC())
 	sc.Gauge("miss_per_million").Set(r.Cache.MissesPerMillion())
-
-	runs := []metrics.RunExport{{Kernel: s.Kernel.Name, Config: cfg.Name,
-		Series: r.Phases, Stalls: sim.Stalls(r.Pipe)}}
-	if out.Metrics != "" {
-		man.Finish()
-		exp := &metrics.Export{Manifest: man, Registry: reg.Snapshot(), Runs: runs}
-		if err := exp.WriteJSONFile(out.Metrics); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "powerfits: wrote metrics to %s\n", out.Metrics)
-	}
-	if out.Phases != "" {
-		if err := metrics.WritePhasesCSVFile(out.Phases, runs); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "powerfits: wrote phase series to %s\n", out.Phases)
-	}
 }
 
 // stallTable renders the stall-cause breakdown of every run that

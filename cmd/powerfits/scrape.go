@@ -1,0 +1,72 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"powerfits/internal/telemetry"
+)
+
+// cmdScrape fetches one telemetry endpoint and validates the payload:
+// by default the body must strictly parse as Prometheus text format
+// v0.0.4 (the /metrics conformance gate ci.sh runs against a live
+// server); with -health it must be a /healthz JSON document reporting
+// status "ok". -o writes the raw body to a file ("-" for stdout) so a
+// scrape can double as a capture.
+func cmdScrape(url, out string, health bool) {
+	if url == "" {
+		fatal(fmt.Errorf("scrape requires -url http://host:port/metrics (or /healthz with -health)"))
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("scrape %s: status %s", url, resp.Status))
+	}
+
+	if health {
+		var doc struct {
+			Status   string                  `json:"status"`
+			Progress telemetry.ProgressState `json:"progress"`
+		}
+		if err := json.Unmarshal(body, &doc); err != nil {
+			fatal(fmt.Errorf("scrape %s: not a healthz document: %w", url, err))
+		}
+		if doc.Status != "ok" {
+			fatal(fmt.Errorf("scrape %s: status %q, want ok", url, doc.Status))
+		}
+		log.Info("healthz ok", "url", url,
+			"phase", doc.Progress.Phase, "done", doc.Progress.Done, "total", doc.Progress.Total)
+	} else {
+		parsed, err := telemetry.ParseExposition(body)
+		if err != nil {
+			fatal(fmt.Errorf("scrape %s: invalid exposition: %w", url, err))
+		}
+		log.Info("valid exposition", "url", url,
+			"families", len(parsed.Families), "samples", parsed.Samples(), "bytes", len(body))
+	}
+
+	switch out {
+	case "":
+	case "-":
+		if _, err := os.Stdout.Write(body); err != nil {
+			fatal(err)
+		}
+	default:
+		if err := os.WriteFile(out, body, 0o644); err != nil {
+			fatal(err)
+		}
+		log.Info("wrote scrape body", "path", out)
+	}
+}

@@ -52,6 +52,11 @@ func cmdTrace(s *sim.Setup, cfgName, out string, limit int, sample bool) {
 	if err != nil {
 		fatal(err)
 	}
+	// Surface the ring's accounting as gauges when a telemetry server is
+	// up, so a lingering /metrics scrape reports the capture.
+	if tele != nil {
+		ring.Publish(tele.Scope("tracing"))
+	}
 	meta := tracing.TraceMeta{Kernel: s.Kernel.Name, Config: cfg.Name,
 		Total: ring.Total(), Dropped: ring.Dropped()}
 	if out == "" {
@@ -65,8 +70,9 @@ func cmdTrace(s *sim.Setup, cfgName, out string, limit int, sample bool) {
 	if out != "" {
 		dst = out
 	}
-	fmt.Fprintf(os.Stderr, "powerfits: %s on %s: %d cycles, %d events (%d captured, %d dropped) -> %s\n",
-		s.Kernel.Name, cfg.Name, r.Pipe.Cycles, ring.Total(), ring.Len(), ring.Dropped(), dst)
+	log.Info("trace captured", "kernel", s.Kernel.Name, "config", cfg.Name,
+		"cycles", r.Pipe.Cycles, "events", ring.Total(), "captured", ring.Len(),
+		"dropped", ring.Dropped(), "dest", dst)
 }
 
 // cmdTraceCheck validates an existing export against the schema this
@@ -76,8 +82,8 @@ func cmdTraceCheck(path string) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "powerfits: %s: valid chrome trace (%d records; kernel %s, config %s)\n",
-		path, len(doc.TraceEvents), doc.OtherData["kernel"], doc.OtherData["config"])
+	log.Info("valid chrome trace", "path", path, "records", len(doc.TraceEvents),
+		"kernel", doc.OtherData["kernel"], "config", doc.OtherData["config"])
 }
 
 // cmdProfile runs the attribution profiler and renders the result.

@@ -358,6 +358,45 @@ func (s *Store) Latest() (*Record, error) {
 	return recs[len(recs)-1], nil
 }
 
+// Stats reports the store's size — how many run records it holds and
+// their total bytes on disk. A store whose directory does not exist
+// yet is empty, not an error.
+func (s *Store) Stats() (runs int, bytes int64, err error) {
+	entries, err := os.ReadDir(s.Dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0, nil
+		}
+		return 0, 0, err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		info, ierr := e.Info()
+		if ierr != nil {
+			return 0, 0, ierr
+		}
+		runs++
+		bytes += info.Size()
+	}
+	return runs, bytes, nil
+}
+
+// PublishStats exports the store's run count and byte size as gauges
+// on sc (conventionally the "archive" scope), so the store shows up in
+// /metrics scrapes and metrics exports alongside the run's own
+// instruments.
+func (s *Store) PublishStats(sc metrics.Scope) error {
+	runs, bytes, err := s.Stats()
+	if err != nil {
+		return err
+	}
+	sc.Gauge("runs").Set(float64(runs))
+	sc.Gauge("bytes").Set(float64(bytes))
+	return nil
+}
+
 func startedAt(r *Record) string {
 	if r.Manifest == nil {
 		return ""

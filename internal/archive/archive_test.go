@@ -1,6 +1,7 @@
 package archive
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -175,5 +176,49 @@ func TestFromSuiteDeterministicID(t *testing.T) {
 	}
 	if !d.OK() || d.Regressed != 0 || d.Improved != 0 || d.Changed != 0 || d.Compared == 0 {
 		t.Fatalf("self-diff not clean: %+v", d)
+	}
+}
+
+// TestStoreStats checks the store-size accounting /metrics surfaces:
+// a missing directory is empty (not an error), counts track saves, and
+// PublishStats mirrors them as gauges.
+func TestStoreStats(t *testing.T) {
+	st := NewStore(filepath.Join(t.TempDir(), "never-created"))
+	runs, bytes, err := st.Stats()
+	if err != nil || runs != 0 || bytes != 0 {
+		t.Fatalf("missing dir: got (%d, %d, %v), want (0, 0, nil)", runs, bytes, err)
+	}
+
+	st = NewStore(filepath.Join(t.TempDir(), "runs"))
+	var wantBytes int64
+	for i, id := range []string{"r1", "r2"} {
+		path, err := st.Save(stubRecord(id, "2026-01-01T00:00:0"+string(rune('0'+i))+"Z"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBytes += info.Size()
+	}
+	// Non-record files don't count.
+	if err := os.WriteFile(filepath.Join(st.Dir, "README.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runs, bytes, err = st.Stats()
+	if err != nil || runs != 2 || bytes != wantBytes {
+		t.Fatalf("Stats() = (%d, %d, %v), want (2, %d, nil)", runs, bytes, err, wantBytes)
+	}
+
+	reg := metrics.NewRegistry()
+	if err := st.PublishStats(reg.Scope("archive")); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Gauge("archive/runs").Value(); got != 2 {
+		t.Errorf("archive/runs gauge %v, want 2", got)
+	}
+	if got := reg.Gauge("archive/bytes").Value(); got != float64(wantBytes) {
+		t.Errorf("archive/bytes gauge %v, want %d", got, wantBytes)
 	}
 }

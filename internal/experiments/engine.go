@@ -23,6 +23,7 @@ package experiments
 
 import (
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
@@ -101,9 +102,18 @@ type Options struct {
 	// Workers bounds the pool (≤ 0 = runtime.GOMAXPROCS(0); 1 =
 	// sequential).
 	Workers int
-	// Progress, when non-nil, receives one line per completed kernel
-	// from a single goroutine, in completion order.
-	Progress func(string)
+	// Progress, when non-nil, receives one typed event per completed
+	// kernel from a single goroutine, in completion order. Use
+	// LineProgress to adapt a legacy line consumer (ProgressEvent.Line
+	// renders the classic heartbeat), MultiProgress to fan out to
+	// several sinks (e.g. a CLI printer plus a telemetry tracker).
+	Progress ProgressFunc
+	// Log, when non-nil, receives leveled structured engine logs:
+	// per-kernel prepare/run timing at Debug, the suite summary at
+	// Info. The logger's handler must be safe for concurrent use (every
+	// stdlib slog handler is); it is also threaded into sim.PrepareWith
+	// for per-stage preparation logs.
+	Log *slog.Logger
 	// Observe, when enabled, runs every kernel × configuration
 	// simulation with phase sampling attached; the per-run
 	// metrics.Series lands on each sim.Result. Ignored when Sampled is
@@ -146,7 +156,7 @@ func heartbeat(kernel string, instrs uint64, n, total int, elapsed time.Duration
 // configuration name and Setups are sorted by kernel name, just as the
 // sequential loop produced them.
 func RunParallel(scale, workers int, progress func(string)) (*Suite, error) {
-	return RunSuite(Options{Scale: scale, Workers: workers, Progress: progress})
+	return RunSuite(Options{Scale: scale, Workers: workers, Progress: LineProgress(progress)})
 }
 
 // RunSuite generates the full suite under the given options.
@@ -167,15 +177,15 @@ func RunSuite(opt Options) (*Suite, error) {
 	}
 
 	// One drainer goroutine serializes the progress callback.
-	var progCh chan string
+	var progCh chan ProgressEvent
 	var progWG sync.WaitGroup
 	if opt.Progress != nil {
-		progCh = make(chan string, len(ks))
+		progCh = make(chan ProgressEvent, len(ks))
 		progWG.Add(1)
 		go func() {
 			defer progWG.Done()
-			for line := range progCh {
-				opt.Progress(line)
+			for ev := range progCh {
+				opt.Progress(ev)
 			}
 		}()
 	}
@@ -211,6 +221,7 @@ func RunSuite(opt Options) (*Suite, error) {
 			setup, err := sim.PrepareWith(k, opt.Scale, sim.PrepareOptions{
 				Synth:       synth.DefaultOptions(),
 				Superblocks: opt.Superblocks,
+				Log:         opt.Log,
 			})
 			kr.timing.PrepareSec = time.Since(t0).Seconds()
 			kr.timing.Worker = worker
@@ -220,6 +231,10 @@ func RunSuite(opt Options) (*Suite, error) {
 				return
 			}
 			kr.setup = setup
+			if opt.Log != nil {
+				opt.Log.Debug("kernel prepared", "kernel", k.Name,
+					"worker", worker, "prepare_sec", kr.timing.PrepareSec)
+			}
 			kscope.Gauge("prepare_sec").Set(kr.timing.PrepareSec)
 			kscope.Gauge("worker").Set(float64(worker))
 			kr.reg.Histogram("engine/prepare_sec", metrics.DurationBuckets).
@@ -276,11 +291,16 @@ func RunSuite(opt Options) (*Suite, error) {
 				}
 			}
 			kr.reg.Counter("engine/kernels_done").Inc()
+			if opt.Log != nil {
+				opt.Log.Debug("kernel simulated", "kernel", k.Name,
+					"run_sec", kr.timing.RunSec, "dyn_instrs", kr.results[0].Pipe.Instrs)
+			}
 			if progCh != nil {
 				// sim.Configs[0] is ARM16, matching the sequential line.
 				n := int(completed.Add(1))
-				progCh <- heartbeat(k.Name, kr.results[0].Pipe.Instrs,
-					n, len(ks), time.Since(start))
+				progCh <- ProgressEvent{Kernel: k.Name, Worker: kr.timing.Worker,
+					Done: n, Total: len(ks), DynInstrs: kr.results[0].Pipe.Instrs,
+					Elapsed: time.Since(start)}
 			}
 		}(&runs[i], ks[i])
 	}
@@ -315,5 +335,9 @@ func RunSuite(opt Options) (*Suite, error) {
 	s.WallSec = time.Since(start).Seconds()
 	s.Metrics.Gauge("engine/wall_sec").Set(s.WallSec)
 	s.Metrics.Gauge("engine/workers").Set(float64(workers))
+	if opt.Log != nil {
+		opt.Log.Info("suite complete", "kernels", len(ks),
+			"workers", workers, "wall_sec", s.WallSec, "sampled", opt.Sampled)
+	}
 	return s, nil
 }

@@ -1,0 +1,66 @@
+package experiments
+
+import "time"
+
+// ProgressEvent is one typed engine progress notification: a kernel's
+// four configuration runs have all completed. Events are delivered
+// from a single goroutine in completion order, so a sink never needs
+// its own serialization.
+type ProgressEvent struct {
+	// Kernel is the benchmark that just finished.
+	Kernel string `json:"kernel"`
+	// Worker is the pool slot the kernel's preparation ran on.
+	Worker int `json:"worker"`
+	// Done and Total are the suite completion counter: this event is
+	// the Done-th of Total kernels.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// DynInstrs is the kernel's ARM16 dynamic instruction count.
+	DynInstrs uint64 `json:"dyn_instrs"`
+	// Elapsed is the wall-clock time since suite generation started.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// Line renders the event as the classic CLI heartbeat line —
+// byte-identical to what Options.Progress received before events were
+// typed (the format is pinned by TestHeartbeatFormat).
+func (e ProgressEvent) Line() string {
+	return heartbeat(e.Kernel, e.DynInstrs, e.Done, e.Total, e.Elapsed)
+}
+
+// ProgressFunc consumes engine progress events. The engine invokes it
+// from one drainer goroutine, never concurrently.
+type ProgressFunc func(ProgressEvent)
+
+// LineProgress adapts a legacy line consumer to the typed sink: each
+// event is rendered with Line and handed over. A nil consumer yields a
+// nil sink (progress disabled).
+func LineProgress(fn func(string)) ProgressFunc {
+	if fn == nil {
+		return nil
+	}
+	return func(ev ProgressEvent) { fn(ev.Line()) }
+}
+
+// MultiProgress fans one event out to several sinks in order, skipping
+// nils. It returns nil when no sink remains, so callers can pass the
+// result straight to Options.Progress.
+func MultiProgress(fns ...ProgressFunc) ProgressFunc {
+	live := fns[:0:0]
+	for _, fn := range fns {
+		if fn != nil {
+			live = append(live, fn)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	if len(live) == 1 {
+		return live[0]
+	}
+	return func(ev ProgressEvent) {
+		for _, fn := range live {
+			fn(ev)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestProgressEventLine pins the typed-event → heartbeat adaptation:
+// Line must render exactly what the untyped callback used to receive.
+func TestProgressEventLine(t *testing.T) {
+	ev := ProgressEvent{Kernel: "crc32", Worker: 1, Done: 3, Total: 21,
+		DynInstrs: 12345, Elapsed: 2 * time.Second}
+	if got, want := ev.Line(), heartbeat("crc32", 12345, 3, 21, 2*time.Second); got != want {
+		t.Fatalf("Line() = %q, want heartbeat %q", got, want)
+	}
+}
+
+func TestProgressEventJSON(t *testing.T) {
+	ev := ProgressEvent{Kernel: "sha", Worker: 2, Done: 1, Total: 21,
+		DynInstrs: 99, Elapsed: time.Second}
+	blob, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ProgressEvent
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != ev {
+		t.Fatalf("JSON round trip lost data: %+v != %+v", back, ev)
+	}
+}
+
+func TestLineProgress(t *testing.T) {
+	if LineProgress(nil) != nil {
+		t.Fatal("LineProgress(nil) is not nil")
+	}
+	var lines []string
+	sink := LineProgress(func(s string) { lines = append(lines, s) })
+	ev := ProgressEvent{Kernel: "jpeg", Done: 2, Total: 21, DynInstrs: 7}
+	sink(ev)
+	if len(lines) != 1 || lines[0] != ev.Line() {
+		t.Fatalf("adapter delivered %q, want %q", lines, ev.Line())
+	}
+}
+
+func TestMultiProgress(t *testing.T) {
+	if MultiProgress() != nil || MultiProgress(nil, nil) != nil {
+		t.Fatal("empty fan-out is not nil")
+	}
+	var a, b int
+	one := ProgressFunc(func(ProgressEvent) { a++ })
+	// A single live sink is returned as-is, not wrapped.
+	if got := MultiProgress(nil, one); got == nil {
+		t.Fatal("single sink dropped")
+	} else {
+		got(ProgressEvent{})
+	}
+	if a != 1 {
+		t.Fatalf("single-sink fan-out delivered %d events, want 1", a)
+	}
+	multi := MultiProgress(one, nil, func(ProgressEvent) { b++ })
+	multi(ProgressEvent{})
+	if a != 2 || b != 1 {
+		t.Fatalf("fan-out delivered a=%d b=%d, want 2 and 1", a, b)
+	}
+}

@@ -7,7 +7,10 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
+	"time"
 
 	"powerfits/internal/cache"
 	"powerfits/internal/cpu"
@@ -102,6 +105,11 @@ type PrepareOptions struct {
 	// executor (profile.CollectOptions.Superblocks). The resulting
 	// Setup is identical; only preparation wall-clock changes.
 	Superblocks bool
+	// Log, when non-nil, receives one Debug record per preparation with
+	// the wall-clock cost of every stage (build, assemble, profile,
+	// synth, translate, thumb, predecode). The produced Setup is
+	// identical with or without logging.
+	Log *slog.Logger
 }
 
 // Prepare builds, profiles, synthesizes and translates one kernel.
@@ -116,11 +124,26 @@ func PrepareWith(k kernels.Kernel, scale int, popts PrepareOptions) (*Setup, err
 	if scale <= 0 {
 		scale = k.DefaultScale
 	}
+	// stage records per-stage wall-clock when logging is requested; with
+	// Log nil it degenerates to two time.Now calls per stage and no
+	// allocation beyond the fixed slice.
+	var stages []slog.Attr
+	last := time.Now()
+	stage := func(name string) {
+		if popts.Log == nil {
+			return
+		}
+		now := time.Now()
+		stages = append(stages, slog.Float64(name+"_sec", now.Sub(last).Seconds()))
+		last = now
+	}
 	p := k.Build(scale)
+	stage("build")
 	armIm, err := arm.Assemble(p)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: %w", k.Name, err)
 	}
+	stage("assemble")
 	budget, err := opts.EffectiveProfileBudget()
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: %w", k.Name, err)
@@ -129,25 +152,35 @@ func PrepareWith(k kernels.Kernel, scale int, popts PrepareOptions) (*Setup, err
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: profile: %w", k.Name, err)
 	}
+	stage("profile")
 	syn, err := synth.Synthesize(prof, opts)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: synth: %w", k.Name, err)
 	}
+	stage("synth")
 	res, err := translate.Translate(p, syn.Spec)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: translate: %w", k.Name, err)
 	}
+	stage("translate")
 	ts, err := thumb.Translate(p)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: thumb: %w", k.Name, err)
 	}
+	stage("thumb")
 	armDec := cpu.Predecode(p, cpu.ImageLayout(armIm))
 	fitsDec := cpu.Predecode(res.Lowered, cpu.ImageLayout(res.Image))
-	return &Setup{Kernel: k, Scale: scale, Prog: p, ArmImage: armIm,
+	s := &Setup{Kernel: k, Scale: scale, Prog: p, ArmImage: armIm,
 		Profile: prof, Synth: syn, Fits: res, Thumb: ts,
 		ArmDecoded: armDec, FitsDecoded: fitsDec,
 		ArmCompiled: armDec.Compiled(), FitsCompiled: fitsDec.Compiled(),
-	}, nil
+	}
+	if popts.Log != nil {
+		stage("predecode")
+		popts.Log.LogAttrs(context.Background(), slog.LevelDebug, "prepare stages",
+			append([]slog.Attr{slog.String("kernel", k.Name), slog.Int("scale", scale)}, stages...)...)
+	}
+	return s, nil
 }
 
 // PrepareByName is Prepare for a kernel name with default options.

@@ -1,0 +1,209 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	"powerfits/internal/experiments"
+	"powerfits/internal/metrics"
+)
+
+// Tracker accumulates typed engine progress into a queryable state and
+// fans events out to SSE subscribers. It is the live half of the
+// /progress endpoint: Publish is an experiments.ProgressFunc, so the
+// same tracker plugs straight into experiments.Options.Progress
+// (compose with MultiProgress to keep the CLI heartbeat).
+//
+// All methods are safe for concurrent use. Publish never blocks on a
+// slow subscriber: a full subscriber channel drops the frame and the
+// drop is counted (progress/sse_dropped in the registry).
+type Tracker struct {
+	mu         sync.Mutex
+	phase      string // "idle", "running", "done", "failed"
+	total      int
+	done       int
+	dynInstrs  uint64
+	lastKernel string
+	started    time.Time
+	finished   time.Time
+	errText    string
+	events     []experiments.ProgressEvent // bounded recent history
+	subs       map[int]chan Frame
+	nextSub    int
+
+	reg *metrics.Registry // optional gauge/counter mirror
+}
+
+// maxTrackedEvents bounds the event history /progress replays.
+const maxTrackedEvents = 64
+
+// NewTracker returns an idle tracker. reg, when non-nil, receives a
+// progress/* mirror of the state (done/total gauges, kernels_done and
+// dyn_instrs counters) so scrapes of /metrics see live progress too.
+func NewTracker(reg *metrics.Registry) *Tracker {
+	return &Tracker{phase: "idle", subs: make(map[int]chan Frame), reg: reg}
+}
+
+// Frame is one SSE frame: an event name and its JSON payload.
+type Frame struct {
+	Event string
+	Data  []byte
+}
+
+// ProgressState is the JSON document /progress serves.
+type ProgressState struct {
+	Phase      string                      `json:"phase"`
+	Done       int                         `json:"done"`
+	Total      int                         `json:"total"`
+	LastKernel string                      `json:"last_kernel,omitempty"`
+	DynInstrs  uint64                      `json:"dyn_instrs"`
+	ElapsedSec float64                     `json:"elapsed_sec"`
+	Error      string                      `json:"error,omitempty"`
+	Events     []experiments.ProgressEvent `json:"events,omitempty"`
+}
+
+// Begin marks the start of a run of total units (kernels).
+func (t *Tracker) Begin(total int) {
+	t.mu.Lock()
+	t.phase = "running"
+	t.total = total
+	t.done = 0
+	t.dynInstrs = 0
+	t.lastKernel = ""
+	t.errText = ""
+	t.started = time.Now()
+	t.finished = time.Time{}
+	t.events = t.events[:0]
+	if t.reg != nil {
+		sc := t.reg.Scope("progress")
+		sc.Gauge("running").Set(1)
+		sc.Gauge("total").Set(float64(total))
+		sc.Gauge("done").Set(0)
+	}
+	frame := t.frameLocked("state")
+	t.mu.Unlock()
+	t.broadcast(frame)
+}
+
+// Publish records one completed kernel. It is an
+// experiments.ProgressFunc.
+func (t *Tracker) Publish(ev experiments.ProgressEvent) {
+	t.mu.Lock()
+	if t.phase == "idle" {
+		// Engine started without an explicit Begin: adopt the event's
+		// bookkeeping.
+		t.phase = "running"
+		t.started = time.Now().Add(-ev.Elapsed)
+	}
+	t.total = ev.Total
+	t.done = ev.Done
+	t.dynInstrs += ev.DynInstrs
+	t.lastKernel = ev.Kernel
+	if len(t.events) == maxTrackedEvents {
+		copy(t.events, t.events[1:])
+		t.events = t.events[:maxTrackedEvents-1]
+	}
+	t.events = append(t.events, ev)
+	if t.reg != nil {
+		sc := t.reg.Scope("progress")
+		sc.Gauge("done").Set(float64(ev.Done))
+		sc.Gauge("total").Set(float64(ev.Total))
+		sc.Counter("kernels_done").Inc()
+		sc.Counter("dyn_instrs").Add(ev.DynInstrs)
+		sc.Gauge("elapsed_sec").Set(ev.Elapsed.Seconds())
+	}
+	data, _ := json.Marshal(ev)
+	t.mu.Unlock()
+	t.broadcast(Frame{Event: "progress", Data: data})
+}
+
+// Finish marks the run complete (err nil) or failed.
+func (t *Tracker) Finish(err error) {
+	t.mu.Lock()
+	t.finished = time.Now()
+	if err != nil {
+		t.phase = "failed"
+		t.errText = err.Error()
+	} else {
+		t.phase = "done"
+	}
+	if t.reg != nil {
+		t.reg.Scope("progress").Gauge("running").Set(0)
+	}
+	frame := t.frameLocked(t.phase)
+	t.mu.Unlock()
+	t.broadcast(frame)
+}
+
+// stateLocked builds the current state; callers hold t.mu.
+func (t *Tracker) stateLocked() ProgressState {
+	st := ProgressState{
+		Phase:      t.phase,
+		Done:       t.done,
+		Total:      t.total,
+		LastKernel: t.lastKernel,
+		DynInstrs:  t.dynInstrs,
+		Error:      t.errText,
+		Events:     append([]experiments.ProgressEvent(nil), t.events...),
+	}
+	switch {
+	case t.started.IsZero():
+	case t.finished.IsZero():
+		st.ElapsedSec = time.Since(t.started).Seconds()
+	default:
+		st.ElapsedSec = t.finished.Sub(t.started).Seconds()
+	}
+	return st
+}
+
+func (t *Tracker) frameLocked(event string) Frame {
+	data, _ := json.Marshal(t.stateLocked())
+	return Frame{Event: event, Data: data}
+}
+
+// State returns a copy of the current progress state.
+func (t *Tracker) State() ProgressState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stateLocked()
+}
+
+// Subscribe registers an SSE consumer. The returned channel first
+// receives a "state" frame replaying the current state, then every
+// subsequent frame; cancel removes the subscription and closes the
+// channel.
+func (t *Tracker) Subscribe() (<-chan Frame, func()) {
+	ch := make(chan Frame, maxTrackedEvents+8)
+	t.mu.Lock()
+	id := t.nextSub
+	t.nextSub++
+	t.subs[id] = ch
+	ch <- t.frameLocked("state")
+	t.mu.Unlock()
+	cancel := func() {
+		t.mu.Lock()
+		if c, ok := t.subs[id]; ok {
+			delete(t.subs, id)
+			close(c)
+		}
+		t.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// broadcast fans a frame out without blocking: full subscribers drop
+// it (accounted in the registry).
+func (t *Tracker) broadcast(f Frame) {
+	t.mu.Lock()
+	for _, ch := range t.subs {
+		select {
+		case ch <- f:
+		default:
+			if t.reg != nil {
+				t.reg.Scope("progress").Counter("sse_dropped").Inc()
+			}
+		}
+	}
+	t.mu.Unlock()
+}

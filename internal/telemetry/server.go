@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strings"
+	"time"
+
+	"powerfits/internal/metrics"
+)
+
+// Options configures the embedded debug server.
+type Options struct {
+	// Registry is scraped by /metrics. It may be written concurrently —
+	// the expositor only ever reads a Snapshot. Nil serves an empty
+	// (but valid) exposition.
+	Registry *metrics.Registry
+	// Gather, when non-nil, runs before each /metrics snapshot to
+	// refresh derived gauges (uptime, ring totals, archive stats). It
+	// must only touch the registry — never simulation state.
+	Gather func(*metrics.Registry)
+	// Tracker backs /progress; nil serves an idle state.
+	Tracker *Tracker
+	// Log receives server lifecycle and per-request-error records.
+	Log *slog.Logger
+	// AddrFile, when non-empty, receives the bound host:port — the
+	// handshake file ci.sh and scripts poll to find an ephemeral port.
+	AddrFile string
+}
+
+// Server is a running debug HTTP server. Endpoints:
+//
+//	/metrics        Prometheus text format (v0.0.4) over the registry
+//	/healthz        liveness JSON: status, uptime, progress summary
+//	/progress       engine state JSON; SSE stream with Accept:
+//	                text/event-stream or ?stream=1
+//	/debug/pprof/*  the standard Go profiling endpoints
+type Server struct {
+	opts    Options
+	lis     net.Listener
+	srv     *http.Server
+	started time.Time
+	tracker *Tracker
+}
+
+// Serve binds addr (host:port; port 0 picks an ephemeral port) and
+// starts serving in a background goroutine.
+func Serve(addr string, opts Options) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{opts: opts, lis: lis, started: time.Now(), tracker: opts.Tracker}
+	if s.tracker == nil {
+		s.tracker = NewTracker(nil)
+	}
+	s.srv = &http.Server{Handler: s.Handler()}
+	if opts.AddrFile != "" {
+		if err := os.WriteFile(opts.AddrFile, []byte(lis.Addr().String()+"\n"), 0o644); err != nil {
+			lis.Close()
+			return nil, fmt.Errorf("telemetry: writing addr file: %w", err)
+		}
+	}
+	if opts.Log != nil {
+		opts.Log.Info("telemetry server listening", "addr", lis.Addr().String())
+	}
+	go func() {
+		if err := s.srv.Serve(lis); err != nil && err != http.ErrServerClosed && opts.Log != nil {
+			opts.Log.Error("telemetry server stopped", "err", err)
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address (host:port).
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops the server immediately, dropping open SSE streams.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Handler builds the endpoint mux (exposed for in-process tests).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := s.opts.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	reg.Gauge("telemetry/uptime_sec").Set(time.Since(s.started).Seconds())
+	if s.opts.Gather != nil {
+		s.opts.Gather(reg)
+	}
+	w.Header().Set("Content-Type", ContentType)
+	// Render from a snapshot so a slow client never holds a registry
+	// lock; WriteExposition errors only on writer failure (client gone).
+	if err := WriteExposition(w, reg.Snapshot()); err != nil && s.opts.Log != nil {
+		s.opts.Log.Debug("metrics scrape aborted", "err", err)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.tracker.State()
+	doc := struct {
+		Status    string        `json:"status"`
+		UptimeSec float64       `json:"uptime_sec"`
+		Progress  ProgressState `json:"progress"`
+	}{Status: "ok", UptimeSec: time.Since(s.started).Seconds(), Progress: st}
+	w.Header().Set("Content-Type", "application/json")
+	blob, _ := json.MarshalIndent(doc, "", "  ")
+	w.Write(append(blob, '\n'))
+}
+
+// wantsSSE reports whether the request asked for the event stream.
+func wantsSSE(r *http.Request) bool {
+	if r.URL.Query().Get("stream") == "1" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	if !wantsSSE(r) {
+		w.Header().Set("Content-Type", "application/json")
+		blob, _ := json.MarshalIndent(s.tracker.State(), "", "  ")
+		w.Write(append(blob, '\n'))
+		return
+	}
+
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	frames, cancel := s.tracker.Subscribe()
+	defer cancel()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case f, ok := <-frames:
+			if !ok {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", f.Event, f.Data); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

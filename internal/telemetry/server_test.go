@@ -1,0 +1,282 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"powerfits/internal/experiments"
+	"powerfits/internal/metrics"
+)
+
+// startServer boots a real server on an ephemeral port with an addr
+// handshake file, returning it plus its base URL.
+func startServer(t *testing.T, opts Options) (*Server, string) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	opts.AddrFile = addrFile
+	s, err := Serve("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	blob, err := os.ReadFile(addrFile)
+	if err != nil {
+		t.Fatalf("addr handshake file missing: %v", err)
+	}
+	if got := strings.TrimSpace(string(blob)); got != s.Addr() {
+		t.Fatalf("addr file says %q, listener says %q", got, s.Addr())
+	}
+	return s, "http://" + s.Addr()
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("kernel/crc32/fetches").Add(7)
+	gathered := false
+	_, base := startServer(t, Options{Registry: reg, Gather: func(r *metrics.Registry) {
+		gathered = true
+		r.Gauge("derived/answer").Set(42)
+	}})
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Fatalf("Content-Type %q, want %q", ct, ContentType)
+	}
+	var body strings.Builder
+	if _, err := bufio.NewReader(resp.Body).WriteTo(&body); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParseExposition([]byte(body.String()))
+	if err != nil {
+		t.Fatalf("scrape fails strict parse: %v\n%s", err, body.String())
+	}
+	if !gathered {
+		t.Fatal("Gather hook not invoked on scrape")
+	}
+	for _, fam := range []string{"powerfits_fetches_total", "powerfits_answer", "powerfits_uptime_sec"} {
+		if p.Family(fam) == nil {
+			t.Errorf("scrape missing family %s:\n%s", fam, body.String())
+		}
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	tr := NewTracker(nil)
+	tr.Begin(3)
+	_, base := startServer(t, Options{Tracker: tr})
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Status    string        `json:"status"`
+		UptimeSec float64       `json:"uptime_sec"`
+		Progress  ProgressState `json:"progress"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Status != "ok" || doc.Progress.Phase != "running" || doc.Progress.Total != 3 {
+		t.Fatalf("healthz document wrong: %+v", doc)
+	}
+}
+
+func TestServerProgressJSON(t *testing.T) {
+	tr := NewTracker(nil)
+	tr.Begin(2)
+	tr.Publish(experiments.ProgressEvent{Kernel: "crc32", Done: 1, Total: 2, DynInstrs: 99})
+	_, base := startServer(t, Options{Tracker: tr})
+	resp, err := http.Get(base + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st ProgressState
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Phase != "running" || st.Done != 1 || st.LastKernel != "crc32" ||
+		len(st.Events) != 1 || st.Events[0].DynInstrs != 99 {
+		t.Fatalf("progress state wrong: %+v", st)
+	}
+}
+
+func TestServerPprof(t *testing.T) {
+	_, base := startServer(t, Options{})
+	resp, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+}
+
+// sseEvent is one frame read off the wire.
+type sseEvent struct {
+	event string
+	data  string
+}
+
+// readSSE collects n frames from an event-stream body.
+func readSSE(t *testing.T, r *bufio.Reader, n int) []sseEvent {
+	t.Helper()
+	var out []sseEvent
+	var cur sseEvent
+	for len(out) < n {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("SSE stream ended after %d/%d frames: %v", len(out), n, err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if cur.event != "" || cur.data != "" {
+				out = append(out, cur)
+				cur = sseEvent{}
+			}
+		}
+	}
+	return out
+}
+
+// TestServerSSEReplaysScriptedRun replays a scripted engine run
+// (Begin, three kernel completions, Finish) into a live SSE stream and
+// asserts the frame ordering a dashboard depends on: the priming
+// "state" frame, each progress event in completion order, then the
+// terminal "done" frame.
+func TestServerSSEReplaysScriptedRun(t *testing.T) {
+	tr := NewTracker(nil)
+	_, base := startServer(t, Options{Tracker: tr})
+
+	req, err := http.NewRequest("GET", base+"/progress?stream=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q, want text/event-stream", ct)
+	}
+	r := bufio.NewReader(resp.Body)
+
+	// The priming frame proves the subscription is live before the
+	// script starts — no publish can be missed after it arrives.
+	prime := readSSE(t, r, 1)
+	if prime[0].event != "state" {
+		t.Fatalf("first frame %q, want state", prime[0].event)
+	}
+
+	// The scripted run: what RunSuite does through a cli.Telemetry.
+	script := []string{"crc32", "sha", "jpeg"}
+	tr.Begin(len(script))
+	for i, k := range script {
+		tr.Publish(experiments.ProgressEvent{
+			Kernel: k, Worker: i % 2, Done: i + 1, Total: len(script),
+			DynInstrs: uint64(1000 * (i + 1)), Elapsed: time.Duration(i+1) * time.Second,
+		})
+	}
+	tr.Finish(nil)
+
+	frames := readSSE(t, r, 5)
+	wantEvents := []string{"state", "progress", "progress", "progress", "done"}
+	for i, f := range frames {
+		if f.event != wantEvents[i] {
+			t.Fatalf("frame %d event %q, want %q (frames: %+v)", i, f.event, wantEvents[i], frames)
+		}
+	}
+	for i, f := range frames[1:4] {
+		var ev experiments.ProgressEvent
+		if err := json.Unmarshal([]byte(f.data), &ev); err != nil {
+			t.Fatalf("progress frame %d not JSON: %v", i, err)
+		}
+		if ev.Kernel != script[i] || ev.Done != i+1 {
+			t.Fatalf("frame %d replays %+v, want kernel %s done %d", i, ev, script[i], i+1)
+		}
+	}
+	var final ProgressState
+	if err := json.Unmarshal([]byte(frames[4].data), &final); err != nil {
+		t.Fatal(err)
+	}
+	if final.Phase != "done" || final.Done != 3 || final.DynInstrs != 6000 {
+		t.Fatalf("terminal state wrong: %+v", final)
+	}
+}
+
+// TestTrackerRegistryMirror checks the progress/* mirror a /metrics
+// scrape sees mid-run.
+func TestTrackerRegistryMirror(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := NewTracker(reg)
+	tr.Begin(2)
+	tr.Publish(experiments.ProgressEvent{Kernel: "crc32", Done: 1, Total: 2, DynInstrs: 500})
+	snap := reg.Snapshot()
+	want := map[string]float64{
+		"progress/running": 1, "progress/done": 1, "progress/total": 2,
+	}
+	for _, g := range snap.Gauges {
+		if w, ok := want[g.Name]; ok {
+			if g.Value != w {
+				t.Errorf("%s = %v, want %v", g.Name, g.Value, w)
+			}
+			delete(want, g.Name)
+		}
+	}
+	if len(want) != 0 {
+		t.Fatalf("gauges missing from mirror: %v", want)
+	}
+	tr.Finish(fmt.Errorf("boom"))
+	if st := tr.State(); st.Phase != "failed" || st.Error != "boom" {
+		t.Fatalf("failed finish not recorded: %+v", st)
+	}
+	if v := reg.Gauge("progress/running").Value(); v != 0 {
+		t.Fatalf("running gauge %v after Finish, want 0", v)
+	}
+}
+
+// TestTrackerSlowSubscriberDrops proves Publish never blocks: a
+// subscriber that never drains loses frames (accounted in the
+// registry) while Publish returns promptly.
+func TestTrackerSlowSubscriberDrops(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := NewTracker(reg)
+	_, cancel := tr.Subscribe() // never drained
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tr.Begin(1)
+		for i := 0; i < 2*maxTrackedEvents; i++ {
+			tr.Publish(experiments.ProgressEvent{Kernel: "k", Done: 1, Total: 1})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Publish blocked on a slow subscriber")
+	}
+	if reg.Counter("progress/sse_dropped").Value() == 0 {
+		t.Fatal("dropped frames not accounted")
+	}
+}

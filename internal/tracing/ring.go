@@ -1,6 +1,10 @@
 package tracing
 
-import "fmt"
+import (
+	"fmt"
+
+	"powerfits/internal/metrics"
+)
 
 // Ring is a bounded EventSink: the most recent Capacity events are
 // kept, older ones are overwritten, and the overwrites are accounted
@@ -66,6 +70,18 @@ func (r *Ring) Total() uint64 { return r.total }
 // Dropped returns the number of events overwritten before they could be
 // read — 0 means Events() is the complete stream.
 func (r *Ring) Dropped() uint64 { return r.dropped }
+
+// Publish exports the ring's accounting as gauges on sc — the counts
+// that previously surfaced only inside the Chrome-trace export's
+// otherData block. Call it after the traced run completes: the ring is
+// single-goroutine (Emit is not synchronized), so publishing mid-run
+// from another goroutine would race the sink.
+func (r *Ring) Publish(sc metrics.Scope) {
+	sc.Gauge("events_total").Set(float64(r.total))
+	sc.Gauge("events_dropped").Set(float64(r.dropped))
+	sc.Gauge("events_kept").Set(float64(r.n))
+	sc.Gauge("capacity").Set(float64(len(r.buf)))
+}
 
 // Events returns the stored events oldest-first as a fresh slice.
 func (r *Ring) Events() []Event {

@@ -1,0 +1,29 @@
+package tracing
+
+import (
+	"testing"
+
+	"powerfits/internal/metrics"
+)
+
+// TestRingPublish checks the post-run gauge export a lingering
+// /metrics scrape reports after a traced run.
+func TestRingPublish(t *testing.T) {
+	r := MustNewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Cycle: uint64(i)})
+	}
+	reg := metrics.NewRegistry()
+	r.Publish(reg.Scope("tracing"))
+	want := map[string]float64{
+		"tracing/events_total":   10,
+		"tracing/events_dropped": 6,
+		"tracing/events_kept":    4,
+		"tracing/capacity":       4,
+	}
+	for name, w := range want {
+		if got := reg.Gauge(name).Value(); got != w {
+			t.Errorf("%s = %v, want %v", name, got, w)
+		}
+	}
+}
