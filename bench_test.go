@@ -10,9 +10,12 @@
 package powerfits
 
 import (
+	"path/filepath"
+	"strconv"
 	"sync"
 	"testing"
 
+	"powerfits/internal/archive"
 	"powerfits/internal/cache"
 	"powerfits/internal/cpu"
 	"powerfits/internal/experiments"
@@ -22,6 +25,7 @@ import (
 	"powerfits/internal/profile"
 	"powerfits/internal/program"
 	"powerfits/internal/sim"
+	"powerfits/internal/sweep"
 	"powerfits/internal/synth"
 	"powerfits/internal/tracing"
 	"powerfits/internal/translate"
@@ -547,4 +551,57 @@ func BenchmarkPowerMeter(b *testing.B) {
 		m.Access(uint32(i*4), block, false)
 		m.Tick()
 	}
+}
+
+// ---- Design-space exploration engine ----
+
+// benchSweepGrid is a small real grid (8 points, crc32 at scale 1)
+// shared by the sweep benchmarks.
+func benchSweepGrid() sweep.Grid {
+	g := sweep.DefaultGrid("crc32", 1)
+	g.Ks = []int{5, 6}
+	g.DictCaps = []int{16, 64}
+	g.Caches = g.Caches[:2]
+	return g
+}
+
+// BenchmarkSweep measures the exploration engine end to end: "cold"
+// pays profile + synthesis + sampled simulation per point, "warm" runs
+// the same grid against a populated store and must evaluate nothing —
+// the ratio is the incremental layer's speedup.
+func BenchmarkSweep(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		points := 0
+		for i := 0; i < b.N; i++ {
+			st := archive.NewStore(filepath.Join(b.TempDir(), strconv.Itoa(i)))
+			res, err := sweep.Run(sweep.Options{Grid: benchSweepGrid(), Store: st, NoRefine: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Stats.Evaluated != res.Stats.Points {
+				b.Fatalf("cold sweep reused %d points", res.Stats.ArchiveSkips)
+			}
+			points += res.Stats.Points
+		}
+		b.ReportMetric(float64(points)/b.Elapsed().Seconds(), "points/s")
+	})
+	b.Run("warm", func(b *testing.B) {
+		st := archive.NewStore(b.TempDir())
+		if _, err := sweep.Run(sweep.Options{Grid: benchSweepGrid(), Store: st, NoRefine: true}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		points := 0
+		for i := 0; i < b.N; i++ {
+			res, err := sweep.Run(sweep.Options{Grid: benchSweepGrid(), Store: st, NoRefine: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Stats.Evaluated != 0 {
+				b.Fatalf("warm sweep evaluated %d points", res.Stats.Evaluated)
+			}
+			points += res.Stats.Points
+		}
+		b.ReportMetric(float64(points)/b.Elapsed().Seconds(), "points/s")
+	})
 }

@@ -121,6 +121,29 @@ if ! wait "$tele_pid"; then
     exit 1
 fi
 
+echo "== incremental sweep gate: warm re-sweep does zero simulation =="
+# Runs the same small design-space sweep twice against one run store.
+# The cold pass simulates every point; the warm pass must resolve 100%
+# of the grid from the archive (evaluated=0 in the structured log, skip
+# count == point count) and reproduce the frontier document byte for
+# byte — the determinism + incrementality contract of internal/sweep.
+sweep_tmp=$(mktemp -d)
+trap 'rm -rf "$sweep_tmp" "$trace_tmp" "$tele_tmp"' EXIT
+sweep_axes="-kernel crc32 -scale 1 -ks 4,5,6 -dicts 16,64 -caches 4K,8K"
+go run ./cmd/powerfits sweep $sweep_axes -dir "$sweep_tmp/store" \
+    -o "$sweep_tmp/cold.json" 2>"$sweep_tmp/cold.log" >/dev/null
+go run ./cmd/powerfits sweep $sweep_axes -dir "$sweep_tmp/store" \
+    -o "$sweep_tmp/warm.json" 2>"$sweep_tmp/warm.log" >/dev/null
+if ! grep -q "points=12 evaluated=0 archive_skips=12" "$sweep_tmp/warm.log"; then
+    echo "ci.sh: warm re-sweep simulated points it should have skipped:" >&2
+    grep "sweep done" "$sweep_tmp/warm.log" >&2 || cat "$sweep_tmp/warm.log" >&2
+    exit 1
+fi
+if ! cmp -s "$sweep_tmp/cold.json" "$sweep_tmp/warm.json"; then
+    echo "ci.sh: warm sweep document differs from cold (determinism break)" >&2
+    exit 1
+fi
+
 echo "== regression gate: scale-1 suite vs committed baseline =="
 # Archives a fresh scale-1 run and diffs it against testdata/baseline.json.
 # Any figure or per-kernel metric moving in the wrong direction fails the
@@ -128,7 +151,7 @@ echo "== regression gate: scale-1 suite vs committed baseline =="
 # refresh the baseline with:
 #   go run ./cmd/fitsbench -scale 1 -q -exp headline -archive testdata/baseline.json
 gate_tmp=$(mktemp -d)
-trap 'rm -rf "$gate_tmp" "$trace_tmp" "$tele_tmp"' EXIT
+trap 'rm -rf "$gate_tmp" "$sweep_tmp" "$trace_tmp" "$tele_tmp"' EXIT
 go run ./cmd/fitsbench -scale 1 -q -exp headline -archive "$gate_tmp/current.json" >/dev/null
 go run ./cmd/powerfits diff -base testdata/baseline.json -new "$gate_tmp/current.json"
 

@@ -5,26 +5,32 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 
 	"powerfits/cmd/internal/cli"
+	"powerfits/internal/archive"
 	"powerfits/internal/cache"
 	"powerfits/internal/cpu"
 	"powerfits/internal/kernels"
 	"powerfits/internal/power"
 	"powerfits/internal/program"
 	"powerfits/internal/sim"
+	"powerfits/internal/sweep"
 	"powerfits/internal/synth"
 )
 
 // PipeBenchSchema tags BENCH_pipeline.json records. v2 added the
 // functional-machine rows (interpreted vs compiled, instrs_per_sec)
-// and the Prepare row next to the v1 pipeline rows; v3 adds the
+// and the Prepare row next to the v1 pipeline rows; v3 added the
 // superblock machine row and the sampled-pipeline rows, each carrying
-// its measured cycle error against the exact run.
-const PipeBenchSchema = "powerfits-pipebench/v3"
+// its measured cycle error against the exact run; v4 adds the
+// design-space sweep rows (cold vs warm store, points_per_sec and the
+// profile memo hit rate).
+const PipeBenchSchema = "powerfits-pipebench/v4"
 
 // pipeBenchSchemaPrefix matches any record revision — the delta table
 // tolerates comparing across schema versions (new rows show as added).
@@ -46,7 +52,12 @@ type pipeBenchEntry struct {
 	// CycleErrPct is the sampled estimator's relative cycle error
 	// against the exact pipeline run, in percent (sampled rows only).
 	CycleErrPct float64 `json:"cycle_err_pct,omitempty"`
-	Iterations  int     `json:"iterations"`
+	// PointsPerSec and MemoHitRate describe the design-space sweep
+	// rows: grid points resolved per second and the profile cache's
+	// hit fraction over the measured run.
+	PointsPerSec float64 `json:"points_per_sec,omitempty"`
+	MemoHitRate  float64 `json:"memo_hit_rate,omitempty"`
+	Iterations   int     `json:"iterations"`
 }
 
 // pipeBenchReport is the perf-trajectory record successive PRs diff to
@@ -129,12 +140,17 @@ func (rep *pipeBenchReport) record(name string, r testing.BenchmarkResult) *pipe
 		CyclesPerOp:  r.Extra["cycles/op"],
 		CyclesPerSec: r.Extra["cycles/s"],
 		InstrsPerSec: r.Extra["instrs/s"],
+		PointsPerSec: r.Extra["points/s"],
+		MemoHitRate:  r.Extra["memo-hit-rate"],
 		Iterations:   r.N,
 	}
 	rep.Entries = append(rep.Entries, e)
 	rate, unit := e.CyclesPerSec, "cycles/s"
 	if e.InstrsPerSec > 0 {
 		rate, unit = e.InstrsPerSec, "instrs/s"
+	}
+	if e.PointsPerSec > 0 {
+		rate, unit = e.PointsPerSec, "points/s"
 	}
 	cli.Raw("%-32s %12.0f ns/op %14.0f %-8s %4d allocs/op\n",
 		e.Name, e.NsPerOp, rate, unit, e.AllocsPerOp)
@@ -219,6 +235,10 @@ func runPipeBench(path, kernel string, scale int) error {
 			}
 		}))
 
+	if err := pipeBenchSweep(&rep, kernel, scale); err != nil {
+		return err
+	}
+
 	if prev, err := readPipeBench(path); err == nil {
 		comparePipeBench(prev, &rep)
 	} else if !os.IsNotExist(err) {
@@ -233,6 +253,68 @@ func runPipeBench(path, kernel string, scale int) error {
 		return err
 	}
 	log.Info("wrote pipebench record", "path", path)
+	return nil
+}
+
+// pipeBenchSweep measures the design-space exploration engine over a
+// small real grid: cold (every point pays profile + synthesis + sampled
+// simulation) and warm (the same grid against the store the cold pass
+// filled — the all-skips path). The cold row's memo_hit_rate records
+// how much of the preparation work the profile cache absorbed.
+func pipeBenchSweep(rep *pipeBenchReport, kernel string, scale int) error {
+	grid := sweep.DefaultGrid(kernel, scale)
+	grid.Ks = []int{5, 6}
+	grid.DictCaps = []int{16, 64}
+	grid.Caches = grid.Caches[:2]
+
+	root, err := os.MkdirTemp("", "pipebench-sweep-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	sweepLoop := func(b *testing.B, store func(i int) *archive.Store, wantEval bool) {
+		b.ReportAllocs()
+		points := 0
+		var hits, runs uint64
+		for i := 0; i < b.N; i++ {
+			res, err := sweep.Run(sweep.Options{Grid: grid, Store: store(i), NoRefine: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if wantEval != (res.Stats.Evaluated > 0) {
+				b.Fatalf("sweep evaluated %d points, want evaluated=%t", res.Stats.Evaluated, wantEval)
+			}
+			points += res.Stats.Points
+			hits += res.Stats.MemoHits
+			runs += res.Stats.ProfileRuns
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(points)/b.Elapsed().Seconds(), "points/s")
+		if hits+runs > 0 {
+			b.ReportMetric(float64(hits)/float64(hits+runs), "memo-hit-rate")
+		}
+	}
+
+	coldN := 0 // testing.Benchmark re-runs the body with growing b.N;
+	// every op needs a store no previous op has filled.
+	cold := rep.record("Sweep/Cold", testing.Benchmark(func(b *testing.B) {
+		sweepLoop(b, func(int) *archive.Store {
+			coldN++
+			return archive.NewStore(filepath.Join(root, "cold", strconv.Itoa(coldN)))
+		}, true)
+	}))
+
+	warmStore := archive.NewStore(filepath.Join(root, "warm"))
+	if _, err := sweep.Run(sweep.Options{Grid: grid, Store: warmStore, NoRefine: true}); err != nil {
+		return err
+	}
+	warm := rep.record("Sweep/Warm", testing.Benchmark(func(b *testing.B) {
+		sweepLoop(b, func(int) *archive.Store { return warmStore }, false)
+	}))
+
+	cli.Raw("%-32s %12s warm/cold speedup %.1fx, cold memo hit rate %.2f\n",
+		"", "", cold.NsPerOp/warm.NsPerOp, cold.MemoHitRate)
 	return nil
 }
 

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"powerfits/cmd/internal/cli"
+	"powerfits/internal/archive"
+	"powerfits/internal/experiments"
+	"powerfits/internal/metrics"
+	"powerfits/internal/sweep"
+	"powerfits/internal/synth"
+)
+
+// runSweep drives the design-space exploration engine over one
+// kernel's default grid — the fitsbench face of `powerfits sweep`,
+// sharing the same run store so the two tools' sweeps are mutually
+// incremental.
+func runSweep(kernel string, scale, jobs int, dir, jsonPath string, quiet bool) error {
+	grid := sweep.DefaultGrid(kernel, scale)
+	var progress experiments.ProgressFunc
+	if !quiet {
+		progress = experiments.LineProgress(func(line string) { cli.Rawln(line) })
+	}
+	tele.Begin(grid.Size())
+	var reg *metrics.Registry
+	if tele != nil {
+		reg = tele.Registry
+	}
+	res, err := sweep.Run(sweep.Options{
+		Grid:     grid,
+		Workers:  jobs,
+		Store:    archive.NewStore(dir),
+		Synth:    synth.DefaultOptions(),
+		Progress: experiments.MultiProgress(progress, tele.Progress()),
+		Metrics:  reg,
+		Log:      log,
+	})
+	tele.Finish(err)
+	if err != nil {
+		return err
+	}
+	res.FrontierTable().Render(os.Stdout)
+	st := res.Stats
+	fmt.Printf("\n%d points: %d evaluated, %d archive skips, %d infeasible; profile runs %d (memo hits %d); refined %d (+%d skips); %.2fs\n",
+		st.Points, st.Evaluated, st.ArchiveSkips, st.Infeasible,
+		st.ProfileRuns, st.MemoHits, st.Refined, st.RefineSkips, st.WallSec)
+	if jsonPath != "" {
+		if err := res.Document().WriteFile(jsonPath); err != nil {
+			return err
+		}
+		log.Info("wrote sweep document", "path", jsonPath, "frontier", len(res.Frontier))
+	}
+	return nil
+}

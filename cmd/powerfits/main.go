@@ -20,7 +20,11 @@
 //	powerfits profile -kernel crc32 [-config FITS8] [-scale N] [-sample]
 //	                  [-top N] [-folded] [-o out]   # PC→block energy/stall attribution
 //	powerfits asm    -file prog.s [-config FITS8]   # assemble + full flow + run
-//	powerfits sweep  -kernel jpeg [-j N]            # trace-driven cache-size sweep
+//	powerfits sweep  -kernel jpeg [-j N]            # design-space exploration → Pareto frontier
+//	                 [-ks 4,5,6] [-dicts 16,64,256] [-ablations full|all|name,...]
+//	                 [-caches 4K,8K,16K[:LINE:ASSOC]] [-strategy grid|random|anneal]
+//	                 [-seed N] [-steps N] [-fuel N] [-exact] [-no-refine]
+//	                 [-dir runs/] [-o sweep.json]   # incremental vs the run store
 //	powerfits config -kernel crc32 > crc32.cfg      # the decoder-configuration image
 //	powerfits archive [-scale N] [-dir runs/] [-list]      # archive a suite run / list the store
 //	powerfits diff -base <id|file> [-new <id|file>|-live]  # regression-gate two archived runs
@@ -40,14 +44,11 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
-	"runtime"
 	"strings"
-	"sync"
 	"time"
 
 	"powerfits/cmd/internal/cli"
 	"powerfits/internal/asm"
-	"powerfits/internal/cpu"
 	"powerfits/internal/experiments"
 	"powerfits/internal/isa/fits"
 	"powerfits/internal/kernels"
@@ -56,7 +57,6 @@ import (
 	"powerfits/internal/program"
 	"powerfits/internal/sim"
 	"powerfits/internal/synth"
-	"powerfits/internal/trace"
 )
 
 func usage() {
@@ -86,6 +86,16 @@ func main() {
 	fitsSide := fs.Bool("fits", false, "disassemble the FITS translation instead of ARM")
 	file := fs.String("file", "", "assembly source file (asm command)")
 	jobs := fs.Int("j", 0, "parallel workers for sweep (0 = all cores, 1 = sequential)")
+	sweepKs := fs.String("ks", "", "sweep opcode-width axis, e.g. 4,5,6 (0 = search; default 4,5,6)")
+	sweepDicts := fs.String("dicts", "", "sweep dictionary-budget axis, e.g. 16,64,256")
+	sweepAbl := fs.String("ablations", "", "sweep ablation axis: full, nodict, nowin, no2op, nobase, or all")
+	sweepCaches := fs.String("caches", "", "sweep cache-geometry axis, e.g. 4K,8K,16K or 8K:16:4")
+	strategy := fs.String("strategy", "grid", "sweep visit order: grid, random, anneal")
+	seed := fs.Int64("seed", 1, "seed for stochastic sweep strategies")
+	steps := fs.Int("steps", 0, "step budget for stochastic strategies (0 = strategy default)")
+	fuel := fs.Int("fuel", 0, "bound on sweep points visited (0 = whole grid)")
+	exact := fs.Bool("exact", false, "sweep with full pipeline runs instead of the sampled estimator")
+	noRefine := fs.Bool("no-refine", false, "skip the exact re-run of sweep frontier points")
 	metricsPath := fs.String("metrics", "", "write manifest + registry + phase series as JSON (run command)")
 	phasesPath := fs.String("phases", "", "write the per-window phase series as CSV (run command)")
 	window := fs.Int("window", 4096, "phase-sample window in cycles (run command)")
@@ -166,6 +176,15 @@ func main() {
 		cmdExplain(*kernel, *scale, *opN, *savePath, *inPath, *dir)
 		finish()
 		return
+	case "sweep":
+		cmdSweep(sweepOpts{
+			Kernel: *kernel, Scale: *scale,
+			Ks: *sweepKs, Dicts: *sweepDicts, Ablations: *sweepAbl, Caches: *sweepCaches,
+			Strategy: *strategy, Seed: *seed, Steps: *steps, Fuel: *fuel, Jobs: *jobs,
+			Exact: *exact, NoRefine: *noRefine, Dir: *dir, Out: *outPath,
+		})
+		finish()
+		return
 	}
 
 	if cmd == "trace" && *check {
@@ -223,8 +242,6 @@ func main() {
 		info(s)
 		fmt.Println()
 		run(s, *cfgName, runOutputs{Metrics: *metricsPath, Phases: *phasesPath, Window: *window, Sample: *sample})
-	case "sweep":
-		sweep(s, *jobs)
 	case "config":
 		blob := s.Synth.Spec.MarshalConfig()
 		if _, err := os.Stdout.Write(blob); err != nil {
@@ -243,80 +260,6 @@ func finish() {
 		log.Error("flushing profiles failed", "err", err)
 		os.Exit(1)
 	}
-}
-
-// sweep records one fetch trace per ISA and replays it across cache
-// sizes — the trace-driven methodology, thousands of times faster than
-// re-simulating the pipeline per design point. With workers > 1 the two
-// ISAs are traced and swept concurrently (each pipeline run and replay
-// owns all of its mutable state).
-func sweep(s *sim.Setup, workers int) {
-	pc := cpu.DefaultPipeConfig()
-	runTrace := func(name string, prog *program.Program, im *program.Image) (*trace.Trace, error) {
-		rec := trace.NewRecorder(name, pc.BlockBytes, nil)
-		m := cpu.New(prog, cpu.ImageLayout(im))
-		if _, err := cpu.RunPipeline(m, pc, rec); err != nil {
-			return nil, err
-		}
-		return &rec.T, nil
-	}
-	sizes := []int{2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10}
-
-	var armTr, fitsTr *trace.Trace
-	var armPts, fitsPts []trace.SweepPoint
-	steps := []func() error{
-		func() (err error) { armTr, err = runTrace("arm", s.Prog, s.ArmImage); return },
-		func() (err error) { fitsTr, err = runTrace("fits", s.Fits.Lowered, s.Fits.Image); return },
-	}
-	sweeps := []func() error{
-		func() (err error) { armPts, err = trace.SizeSweep(armTr, sizes, 32, 32); return },
-		func() (err error) { fitsPts, err = trace.SizeSweep(fitsTr, sizes, 32, 32); return },
-	}
-	for _, stage := range [][]func() error{steps, sweeps} {
-		if err := runStage(stage, workers); err != nil {
-			fatal(err)
-		}
-	}
-
-	fmt.Printf("%s: trace-driven I-cache sweep (32B lines, 32-way; %d ARM / %d FITS fetches)\n",
-		s.Kernel.Name, len(armTr.Addrs), len(fitsTr.Addrs))
-	fmt.Printf("%8s %16s %16s\n", "size", "ARM miss/M", "FITS miss/M")
-	for i, size := range sizes {
-		fmt.Printf("%7dK %16.1f %16.1f\n", size/1024,
-			armPts[i].Stats.MissesPerMillion(), fitsPts[i].Stats.MissesPerMillion())
-	}
-}
-
-// runStage runs the stage's jobs, concurrently when workers allows, and
-// returns the first error.
-func runStage(jobs []func() error, workers int) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers == 1 {
-		for _, job := range jobs {
-			if err := job(); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	for i, job := range jobs {
-		wg.Add(1)
-		go func(i int, job func() error) {
-			defer wg.Done()
-			errs[i] = job()
-		}(i, job)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // userKernel wraps a parsed program as a one-off kernel.

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"powerfits/cmd/internal/cli"
+	"powerfits/internal/archive"
+	"powerfits/internal/experiments"
+	"powerfits/internal/metrics"
+	"powerfits/internal/sweep"
+	"powerfits/internal/synth"
+)
+
+// sweepOpts carries the sweep subcommand's flags.
+type sweepOpts struct {
+	Kernel    string
+	Scale     int
+	Ks        string
+	Dicts     string
+	Ablations string
+	Caches    string
+	Strategy  string
+	Seed      int64
+	Steps     int
+	Fuel      int
+	Jobs      int
+	Exact     bool
+	NoRefine  bool
+	Dir       string
+	Out       string
+}
+
+// cmdSweep runs the design-space exploration engine: a grid (or
+// stochastic search) over synthesis and cache parameters, incremental
+// against the run store, ending in the Pareto frontier of fetch energy
+// vs code size vs cycles.
+func cmdSweep(o sweepOpts) {
+	grid := sweep.DefaultGrid(o.Kernel, o.Scale)
+	var err error
+	if o.Ks != "" {
+		if grid.Ks, err = sweep.ParseInts(o.Ks); err != nil {
+			fatal(err)
+		}
+	}
+	if o.Dicts != "" {
+		if grid.DictCaps, err = sweep.ParseInts(o.Dicts); err != nil {
+			fatal(err)
+		}
+	}
+	if o.Ablations != "" {
+		if grid.Ablations, err = sweep.ParseAblations(o.Ablations); err != nil {
+			fatal(err)
+		}
+	}
+	if o.Caches != "" {
+		if grid.Caches, err = sweep.ParseCaches(o.Caches); err != nil {
+			fatal(err)
+		}
+	}
+	strat, err := sweep.NewStrategy(o.Strategy, o.Seed, o.Steps)
+	if err != nil {
+		fatal(err)
+	}
+
+	total := grid.Size()
+	if o.Fuel > 0 && o.Fuel < total {
+		total = o.Fuel
+	}
+	tele.Begin(total)
+	progress := experiments.MultiProgress(
+		experiments.LineProgress(func(line string) { cli.Rawln(line) }),
+		tele.Progress())
+	var reg *metrics.Registry
+	if tele != nil {
+		reg = tele.Registry
+	}
+
+	res, err := sweep.Run(sweep.Options{
+		Grid:     grid,
+		Strategy: strat,
+		Fuel:     o.Fuel,
+		Workers:  o.Jobs,
+		Exact:    o.Exact,
+		NoRefine: o.NoRefine,
+		Store:    archive.NewStore(o.Dir),
+		Synth:    synth.DefaultOptions(),
+		Progress: progress,
+		Metrics:  reg,
+		Log:      log,
+	})
+	tele.Finish(err)
+	if err != nil {
+		fatal(err)
+	}
+
+	res.FrontierTable().Render(os.Stdout)
+	st := res.Stats
+	fmt.Printf("\n%d points: %d evaluated, %d archive skips, %d infeasible; profile runs %d (memo hits %d); refined %d (+%d skips); %.2fs\n",
+		st.Points, st.Evaluated, st.ArchiveSkips, st.Infeasible,
+		st.ProfileRuns, st.MemoHits, st.Refined, st.RefineSkips, st.WallSec)
+
+	if o.Out != "" {
+		if err := res.Document().WriteFile(o.Out); err != nil {
+			fatal(err)
+		}
+		log.Info("wrote sweep document", "path", o.Out, "points", st.Points, "frontier", len(res.Frontier))
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"powerfits/internal/experiments"
 	"powerfits/internal/metrics"
@@ -98,6 +99,13 @@ type Record struct {
 	Kernels  []KernelMetrics     `json:"kernels,omitempty"`
 	Phases   []metrics.RunExport `json:"phase_runs,omitempty"`
 	Traces   []*synth.Trace      `json:"synth_traces,omitempty"`
+
+	// Sweep is the payload of a design-space-sweep point record: one
+	// (kernel, synthesis options, cache geometry) evaluation. Sweep
+	// records are what make re-sweeps incremental — their IDs derive
+	// only from the point's identity, so a resumed or extended sweep
+	// can probe the store before paying for simulation.
+	Sweep *SweepPoint `json:"sweep,omitempty"`
 }
 
 // runID derives the deterministic run identifier from identity-bearing
@@ -186,6 +194,82 @@ func FromSuite(man *metrics.Manifest, suite *experiments.Suite, scale int) *Reco
 	return rec
 }
 
+// SweepPoint is one design-space evaluation: a kernel prepared under
+// one set of synthesis options and timed on one cache geometry. The
+// identity fields (kernel, scale, options key, geometry, estimator,
+// calibration — everything above Infeasible) determine the record's
+// run ID; the remaining fields carry the measured outcome.
+type SweepPoint struct {
+	Kernel string `json:"kernel"`
+	Scale  int    `json:"scale"`
+	// Label is the human-readable point name ("k5.d64.full.8K").
+	Label string `json:"label"`
+	// OptionsKey is synth.Options.Key() — the canonical identity of
+	// every synthesis knob the point sets.
+	OptionsKey string `json:"options_key"`
+	CacheBytes int    `json:"cache_bytes"`
+	CacheLine  int    `json:"cache_line"`
+	CacheAssoc int    `json:"cache_assoc"`
+	// Sampled marks an estimate from sim.RunSampled (≤2 % validated
+	// cycle/energy error); false means an exact full-pipeline run.
+	// Part of the identity, so an exact record never collides with a
+	// sampled one.
+	Sampled bool `json:"sampled"`
+
+	// Infeasible carries the synthesis/translation error of a point the
+	// flow rejected (e.g. a forced opcode width with no feasible
+	// encoding). Infeasible points are archived too: a re-sweep must
+	// not re-discover the same dead ends.
+	Infeasible string `json:"infeasible,omitempty"`
+
+	// K is the opcode width the synthesizer chose (equals the forced
+	// width when one was set).
+	K           int     `json:"k,omitempty"`
+	DictEntries int     `json:"dict_entries,omitempty"`
+	CodeBytes   int     `json:"code_bytes,omitempty"`
+	Cycles      uint64  `json:"cycles,omitempty"`
+	Instrs      uint64  `json:"instrs,omitempty"`
+	Fetches     uint64  `json:"fetches,omitempty"`
+	Misses      uint64  `json:"misses,omitempty"`
+	EnergyPJ    float64 `json:"energy_pj,omitempty"`
+}
+
+// configHash derives the identity hash of the point: only identity
+// fields participate, so the ID is known before the point has been
+// evaluated — which is exactly what lets an incremental sweep probe
+// the store first. cal is the serialized power calibration.
+func (sp *SweepPoint) configHash(cal []byte) string {
+	return metrics.HashConfig(
+		[]byte(fmt.Sprintf("sweep-point/v1/%s/scale=%d/cache=%d:%d:%d/sampled=%t/",
+			sp.Kernel, sp.Scale, sp.CacheBytes, sp.CacheLine, sp.CacheAssoc, sp.Sampled)),
+		[]byte(sp.OptionsKey),
+		cal,
+	)
+}
+
+// SweepRunID returns the deterministic run ID a point record will be
+// filed under — callable before evaluation.
+func SweepRunID(sp *SweepPoint, cal []byte) string {
+	return runID(sp.Scale, sp.configHash(cal))
+}
+
+// FromSweepPoint wraps one evaluated (or infeasible) sweep point as a
+// store record. The run ID depends only on the point's identity and
+// the calibration, never on the measured values or wall-clock, so
+// re-archiving the same point overwrites rather than duplicates.
+func FromSweepPoint(sp *SweepPoint, cal []byte) *Record {
+	hash := sp.configHash(cal)
+	return &Record{
+		Schema:        Schema,
+		SchemaVersion: SchemaVersion,
+		RunID:         runID(sp.Scale, hash),
+		Scale:         sp.Scale,
+		ConfigHash:    hash,
+		Sampled:       sp.Sampled,
+		Sweep:         sp,
+	}
+}
+
 // FromTrace builds a trace-only record (the `powerfits explain -save`
 // artifact): one kernel's synthesis decision log, identified by its
 // decoder-configuration image.
@@ -236,21 +320,48 @@ func (r *Record) Write(w io.Writer) error {
 }
 
 // WriteFile writes the record to path, creating parent directories.
+// The write is atomic — the record lands in a temp file in the target
+// directory and is renamed into place — so a reader (or a resumed
+// incremental sweep probing the store) never observes a torn record:
+// either the old complete document or the new one.
 func (r *Record) WriteFile(path string) error {
-	if dir := filepath.Dir(path); dir != "." && dir != "" {
+	dir := filepath.Dir(path)
+	if dir != "." && dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err
 		}
 	}
-	f, err := os.Create(path)
+	return r.writeAtomic(path)
+}
+
+// writeAtomic is the temp-file + rename body of WriteFile; the parent
+// directory must already exist (Store.Save creates it once, not per
+// record).
+func (r *Record) writeAtomic(path string) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".tmp-record-*")
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
 	if err := r.Write(f); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // Read decodes and validates a record.
@@ -282,6 +393,12 @@ func ReadFile(path string) (*Record, error) {
 // Store is a directory of archived runs, one <run-id>.json per record.
 type Store struct {
 	Dir string
+
+	// mkdir creates the store directory once per Store; every Save
+	// after the first skips the syscall, which matters when a sweep
+	// files thousands of point records.
+	mkdir    sync.Once
+	mkdirErr error
 }
 
 // NewStore returns a store rooted at dir ("" selects DefaultDir).
@@ -297,13 +414,20 @@ func (s *Store) Path(id string) string { return filepath.Join(s.Dir, id+".json")
 
 // Save writes the record under its run ID and returns the path. A
 // record with the same configuration overwrites its predecessor — the
-// ID is the identity.
+// ID is the identity. The write is atomic (temp file + rename in the
+// store directory), so an interrupted run never leaves a torn record
+// behind: a later incremental re-sweep either finds the complete
+// record and skips the point, or finds nothing and re-evaluates it.
 func (s *Store) Save(r *Record) (string, error) {
 	if err := r.Validate(); err != nil {
 		return "", err
 	}
+	s.mkdir.Do(func() { s.mkdirErr = os.MkdirAll(s.Dir, 0o755) })
+	if s.mkdirErr != nil {
+		return "", s.mkdirErr
+	}
 	path := s.Path(r.RunID)
-	if err := r.WriteFile(path); err != nil {
+	if err := r.writeAtomic(path); err != nil {
 		return "", err
 	}
 	return path, nil

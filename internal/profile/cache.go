@@ -1,0 +1,103 @@
+package profile
+
+import (
+	"sync"
+)
+
+// CacheKey identifies one profiling run: the content hash of the
+// program under profile and the instruction budget the run was bounded
+// by. Two preparations with the same key produce bit-identical
+// profiles, so the collected Profile can be shared.
+//
+// Callers build the Image field from everything the functional run can
+// observe — encoded text, load addresses, the data segment and the
+// entry point (sim.PrepareWith hashes exactly that set). The budget is
+// part of the key because a tighter budget can truncate the run and
+// change every dynamic count.
+type CacheKey struct {
+	// Image is a content hash of the program (text + data + layout).
+	Image string
+	// Budget is the effective MaxInstrs bound of the run.
+	Budget uint64
+}
+
+// cacheEntry is one populated (or in-flight) profiling run. ready is
+// closed once prof/err are final; late arrivals block on it instead of
+// re-running the collection.
+type cacheEntry struct {
+	ready chan struct{}
+	prof  *Profile
+	err   error
+}
+
+// Cache memoizes Collect results by CacheKey so many synthesis points
+// over the same program share one profiling run — the expensive stage
+// of preparation, since it executes every dynamic instruction of the
+// application. The design-space sweep threads one Cache through
+// thousands of sim.PrepareWith calls.
+//
+// A Cache is safe for concurrent use. Concurrent misses on the same
+// key are single-flight: the first caller runs the collection, the
+// rest block until it completes and share the outcome (including an
+// error, which is cached — the run is deterministic, so retrying
+// cannot succeed). The cached *Profile is shared read-only by every
+// caller; Profile has no mutating methods after build, which is the
+// same contract sim.Setup relies on across engine workers.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[CacheKey]*cacheEntry
+	hits    uint64
+	misses  uint64
+}
+
+// NewCache returns an empty profile cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[CacheKey]*cacheEntry)}
+}
+
+// Collect returns the memoized profile for key, running collect to
+// populate it on the first request. A nil receiver is an always-miss
+// cache: collect runs unconditionally, so callers never need a "cache
+// configured?" branch.
+func (c *Cache) Collect(key CacheKey, collect func() (*Profile, error)) (*Profile, error) {
+	if c == nil {
+		return collect()
+	}
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-e.ready
+		return e.prof, e.err
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	e.prof, e.err = collect()
+	close(e.ready)
+	return e.prof, e.err
+}
+
+// Stats returns the cumulative hit and miss counts. Misses equal the
+// number of profiling runs actually executed, which is what the
+// sweep's memo-sharing test asserts on.
+func (c *Cache) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of distinct keys held.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

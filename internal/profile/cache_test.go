@@ -1,0 +1,120 @@
+package profile
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"powerfits/internal/kernels"
+)
+
+func TestCacheSingleCollectPerKey(t *testing.T) {
+	c := NewCache()
+	p := kernels.MustGet("crc32").Build(1)
+	key := CacheKey{Image: "img", Budget: 1000}
+
+	runs := 0
+	collect := func() (*Profile, error) {
+		runs++
+		return Collect(p, 0)
+	}
+	first, err := c.Collect(key, collect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Collect(key, collect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Fatalf("collect ran %d times for one key, want 1", runs)
+	}
+	if first != second {
+		t.Fatalf("cache returned distinct profiles for one key")
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+
+	// A different budget is a different key: the run can truncate.
+	if _, err := c.Collect(CacheKey{Image: "img", Budget: 999}, collect); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 {
+		t.Fatalf("distinct budget shared a profile (runs = %d, want 2)", runs)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d keys, want 2", c.Len())
+	}
+}
+
+func TestCacheConcurrentMissesSingleFlight(t *testing.T) {
+	c := NewCache()
+	p := kernels.MustGet("crc32").Build(1)
+	key := CacheKey{Image: "img", Budget: 0}
+
+	var mu sync.Mutex
+	runs := 0
+	var wg sync.WaitGroup
+	profs := make([]*Profile, 16)
+	for i := range profs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			prof, err := c.Collect(key, func() (*Profile, error) {
+				mu.Lock()
+				runs++
+				mu.Unlock()
+				return Collect(p, 0)
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			profs[i] = prof
+		}(i)
+	}
+	wg.Wait()
+	if runs != 1 {
+		t.Fatalf("concurrent misses ran collect %d times, want 1 (single-flight)", runs)
+	}
+	for i, prof := range profs {
+		if prof != profs[0] {
+			t.Fatalf("caller %d got a different profile object", i)
+		}
+	}
+}
+
+func TestCacheErrorIsCached(t *testing.T) {
+	c := NewCache()
+	boom := errors.New("profile exploded")
+	runs := 0
+	collect := func() (*Profile, error) { runs++; return nil, boom }
+	key := CacheKey{Image: "bad", Budget: 1}
+	if _, err := c.Collect(key, collect); !errors.Is(err, boom) {
+		t.Fatalf("first collect error = %v, want %v", err, boom)
+	}
+	if _, err := c.Collect(key, collect); !errors.Is(err, boom) {
+		t.Fatalf("cached error = %v, want %v", err, boom)
+	}
+	if runs != 1 {
+		t.Fatalf("failed collection retried (%d runs); the run is deterministic, the error is the result", runs)
+	}
+}
+
+func TestNilCacheAlwaysCollects(t *testing.T) {
+	var c *Cache
+	runs := 0
+	p := kernels.MustGet("crc32").Build(1)
+	for i := 0; i < 2; i++ {
+		if _, err := c.Collect(CacheKey{}, func() (*Profile, error) { runs++; return Collect(p, 0) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if runs != 2 {
+		t.Fatalf("nil cache memoized (%d runs, want 2)", runs)
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("nil cache stats = %d/%d, want 0/0", hits, misses)
+	}
+}

@@ -8,6 +8,7 @@ package sim
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"log/slog"
 	"time"
@@ -105,6 +106,14 @@ type PrepareOptions struct {
 	// executor (profile.CollectOptions.Superblocks). The resulting
 	// Setup is identical; only preparation wall-clock changes.
 	Superblocks bool
+	// Profiles, when non-nil, memoizes the profiling stage: the run is
+	// keyed by a content hash of the program (ARM text, load addresses,
+	// data segment, entry point) plus the effective profile budget, so
+	// repeated preparations of the same program — thousands of
+	// synthesis points in a design-space sweep — share one
+	// profile.Collect. Superblocks is deliberately excluded from the
+	// key: both executors produce bit-identical profiles.
+	Profiles *profile.Cache
 	// Log, when non-nil, receives one Debug record per preparation with
 	// the wall-clock cost of every stage (build, assemble, profile,
 	// synth, translate, thumb, predecode). The produced Setup is
@@ -148,7 +157,9 @@ func PrepareWith(k kernels.Kernel, scale int, popts PrepareOptions) (*Setup, err
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: %w", k.Name, err)
 	}
-	prof, err := profile.CollectWith(p, profile.CollectOptions{MaxInstrs: budget, Superblocks: popts.Superblocks})
+	prof, err := popts.Profiles.Collect(profileKey(p, armIm, budget), func() (*profile.Profile, error) {
+		return profile.CollectWith(p, profile.CollectOptions{MaxInstrs: budget, Superblocks: popts.Superblocks})
+	})
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: profile: %w", k.Name, err)
 	}
@@ -181,6 +192,26 @@ func PrepareWith(k kernels.Kernel, scale int, popts PrepareOptions) (*Setup, err
 			append([]slog.Attr{slog.String("kernel", k.Name), slog.Int("scale", scale)}, stages...)...)
 	}
 	return s, nil
+}
+
+// profileKey derives the memoization key of the profiling stage: a
+// content hash over everything the functional run can observe — the
+// bit-accurate ARM encoding of every instruction, the load addresses,
+// the data segment and the entry point — plus the effective budget.
+// Two programs with the same key produce bit-identical profiles, so a
+// cached Profile may be shared even though it references the program
+// object of whichever preparation ran first.
+func profileKey(p *program.Program, armIm *program.Image, budget uint64) profile.CacheKey {
+	var meta [28]byte
+	binary.LittleEndian.PutUint32(meta[0:], armIm.TextBase)
+	binary.LittleEndian.PutUint32(meta[4:], p.TextBase)
+	binary.LittleEndian.PutUint32(meta[8:], p.DataBase)
+	binary.LittleEndian.PutUint64(meta[12:], uint64(p.Entry))
+	binary.LittleEndian.PutUint64(meta[20:], budget)
+	return profile.CacheKey{
+		Image:  metrics.HashConfig(armIm.Text, p.Data, meta[:]),
+		Budget: budget,
+	}
 }
 
 // PrepareByName is Prepare for a kernel name with default options.

@@ -1,0 +1,203 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Strategy decides which grid points to visit next. The engine calls
+// Next serially — never from two goroutines — with the results of
+// every visit so far (indexed by grid point, nil = unvisited), then
+// evaluates the returned batch in parallel. Search state therefore
+// lives entirely inside the strategy, and a seeded strategy is
+// deterministic at any worker count: randomness is consumed only in
+// Next, never in the evaluation fan-out.
+//
+// Next returns grid-point indices to visit; already-visited and
+// out-of-range indices are ignored. An empty batch ends the sweep.
+type Strategy interface {
+	Name() string
+	Next(g *Grid, results []*PointResult) []int
+}
+
+// GridOrder visits every point in index order — the exhaustive sweep.
+type GridOrder struct{}
+
+func (GridOrder) Name() string { return "grid" }
+
+func (GridOrder) Next(g *Grid, results []*PointResult) []int {
+	var batch []int
+	for i, r := range results {
+		if r == nil {
+			batch = append(batch, i)
+		}
+	}
+	return batch
+}
+
+// RandomWalk visits Steps points drawn without replacement from a
+// seeded permutation — the cheap way to sketch a large space.
+type RandomWalk struct {
+	Seed  int64
+	Steps int // ≤ 0 = the whole grid
+}
+
+func (RandomWalk) Name() string { return "random" }
+
+func (s RandomWalk) Next(g *Grid, results []*PointResult) []int {
+	steps := s.Steps
+	if steps <= 0 || steps > len(results) {
+		steps = len(results)
+	}
+	perm := rand.New(rand.NewSource(s.Seed)).Perm(len(results))
+	var batch []int
+	for _, i := range perm[:steps] {
+		if results[i] == nil {
+			batch = append(batch, i)
+		}
+	}
+	return batch
+}
+
+// Annealing runs parallel simulated-annealing chains over the grid.
+// Each chain proposes a neighbor (±1 along one axis) of its current
+// point, accepts improvements always and regressions with probability
+// exp(-Δ/T), and cools geometrically. The per-step batch is the
+// chains' proposals, so chains anneal in lockstep and every step's
+// evaluations run concurrently.
+type Annealing struct {
+	Seed   int64
+	Chains int     // parallel chains (≤ 0 = 4)
+	Steps  int     // annealing steps after the random init (≤ 0 = 16)
+	Temp   float64 // initial temperature in score units (≤ 0 = 2.0)
+	Decay  float64 // geometric cooling factor (≤ 0 = 0.85)
+
+	st *annealState
+}
+
+type annealState struct {
+	rng  *rand.Rand
+	cur  []int // current point per chain
+	prop []int // outstanding proposal per chain
+	step int
+}
+
+func (*Annealing) Name() string { return "anneal" }
+
+func (a *Annealing) chains() int {
+	if a.Chains > 0 {
+		return a.Chains
+	}
+	return 4
+}
+
+func (a *Annealing) steps() int {
+	if a.Steps > 0 {
+		return a.Steps
+	}
+	return 16
+}
+
+func (a *Annealing) Next(g *Grid, results []*PointResult) []int {
+	if a.st == nil {
+		// Init: scatter the chains uniformly; their start points are
+		// both the first batch and the first "current" states.
+		rng := rand.New(rand.NewSource(a.Seed))
+		n := g.Size()
+		chains := a.chains()
+		cur := make([]int, chains)
+		for i := range cur {
+			cur[i] = rng.Intn(n)
+		}
+		a.st = &annealState{rng: rng, cur: cur, prop: append([]int(nil), cur...)}
+		return append([]int(nil), cur...)
+	}
+
+	st := a.st
+	if st.step >= a.steps() {
+		return nil
+	}
+	temp := a.Temp
+	if temp <= 0 {
+		temp = 2.0
+	}
+	decay := a.Decay
+	if decay <= 0 {
+		decay = 0.85
+	}
+	temp *= math.Pow(decay, float64(st.step))
+	st.step++
+
+	batch := make([]int, 0, len(st.cur))
+	for c := range st.cur {
+		// Metropolis step on the outstanding proposal.
+		cs := score(results[st.cur[c]])
+		ps := score(results[st.prop[c]])
+		accept := ps <= cs
+		if !accept && !math.IsInf(ps, 1) {
+			accept = st.rng.Float64() < math.Exp((cs-ps)/math.Max(temp, 1e-9))
+		}
+		if accept {
+			st.cur[c] = st.prop[c]
+		}
+		st.prop[c] = neighbor(g, st.rng, st.cur[c])
+		batch = append(batch, st.prop[c])
+	}
+	return batch
+}
+
+// score is the annealing objective: the log-volume of the objective
+// box (energy × cycles × code size), so each metric contributes
+// multiplicatively and none dominates on magnitude alone. Unvisited
+// and infeasible points are infinitely bad.
+func score(r *PointResult) float64 {
+	if r == nil || r.Infeasible != "" {
+		return math.Inf(1)
+	}
+	m := r.Metrics
+	return math.Log(m.EnergyPJ+1) + math.Log(float64(m.Cycles)+1) + math.Log(float64(m.CodeBytes)+1)
+}
+
+// neighbor moves one step along a randomly chosen non-degenerate axis.
+func neighbor(g *Grid, rng *rand.Rand, i int) int {
+	co := [4]int{}
+	co[0], co[1], co[2], co[3] = g.coords(i)
+	axes := g.axes()
+	for try := 0; try < 8; try++ {
+		ax := rng.Intn(4)
+		if axes[ax] < 2 {
+			continue
+		}
+		d := 1
+		if rng.Intn(2) == 0 {
+			d = -1
+		}
+		v := co[ax] + d
+		if v < 0 || v >= axes[ax] {
+			v = co[ax] - d // bounce off the axis edge
+		}
+		if v == co[ax] {
+			continue
+		}
+		next := co
+		next[ax] = v
+		return g.index(next[0], next[1], next[2], next[3])
+	}
+	return i
+}
+
+// NewStrategy builds a strategy by name: "grid", "random", or
+// "anneal". Seed and steps parameterize the stochastic ones.
+func NewStrategy(name string, seed int64, steps int) (Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "grid":
+		return GridOrder{}, nil
+	case "random":
+		return RandomWalk{Seed: seed, Steps: steps}, nil
+	case "anneal", "annealing":
+		return &Annealing{Seed: seed, Steps: steps}, nil
+	}
+	return nil, fmt.Errorf("sweep: unknown strategy %q (have grid, random, anneal)", name)
+}

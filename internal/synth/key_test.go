@@ -1,0 +1,83 @@
+package synth
+
+import (
+	"reflect"
+	"testing"
+)
+
+// optionsKeyFields is the authoritative split of Options fields for
+// Key(): identity fields change the synthesized ISA (or its input
+// profile) and must be folded into the key; non-identity fields are
+// pure observers. Adding a field to Options without classifying it
+// here fails TestOptionsKeyCoversAllFields — the guard against a new
+// knob silently serving stale memoized results.
+var optionsKeyFields = map[string]bool{
+	// identity
+	"ForceK":          true,
+	"DictCap":         true,
+	"NoDict":          true,
+	"NoWindowRanking": true,
+	"NoTwoOp":         true,
+	"NoBasePoints":    true,
+	"ProfileBudget":   true,
+	// non-identity (observers)
+	"Trace": false,
+}
+
+// perturb returns an Options with the named field set to a value that
+// differs from the zero value.
+func perturb(t *testing.T, field string) Options {
+	t.Helper()
+	var o Options
+	v := reflect.ValueOf(&o).Elem().FieldByName(field)
+	switch v.Kind() {
+	case reflect.Bool:
+		v.SetBool(true)
+	case reflect.Int, reflect.Int64:
+		v.SetInt(7)
+	default:
+		t.Fatalf("Options.%s has kind %s: teach perturb about it and classify it in optionsKeyFields", field, v.Kind())
+	}
+	return o
+}
+
+// TestOptionsKeyCoversAllFields fails when an Options field is neither
+// folded into Key() nor explicitly listed as a non-identity observer.
+func TestOptionsKeyCoversAllFields(t *testing.T) {
+	typ := reflect.TypeOf(Options{})
+	zero := Options{}.Key()
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		identity, known := optionsKeyFields[f.Name]
+		if !known {
+			t.Errorf("Options.%s is not classified in optionsKeyFields: fold it into Options.Key() (or list it as a non-identity observer) before shipping — an unkeyed field serves stale memo entries", f.Name)
+			continue
+		}
+		if !identity {
+			continue
+		}
+		if got := perturb(t, f.Name).Key(); got == zero {
+			t.Errorf("Options.Key() ignores identity field %s: perturbing it left the key at %q", f.Name, zero)
+		}
+	}
+}
+
+func TestOptionsKeyCanonical(t *testing.T) {
+	a := Options{DictCap: 256}
+	b := Options{DictCap: 256}
+	if a.Key() != b.Key() {
+		t.Fatalf("equal options disagree: %q vs %q", a.Key(), b.Key())
+	}
+	// The zero budget resolves to the default, so an explicit default
+	// budget and the implicit one land on the same key — they run the
+	// same profile.
+	c := Options{DictCap: 256, ProfileBudget: DefaultProfileBudget}
+	if a.Key() != c.Key() {
+		t.Fatalf("implicit and explicit default budgets disagree: %q vs %q", a.Key(), c.Key())
+	}
+	// Trace is an observer: attaching one must not move the key.
+	d := Options{DictCap: 256, Trace: &Trace{}}
+	if a.Key() != d.Key() {
+		t.Fatalf("attaching a trace moved the key: %q vs %q", a.Key(), d.Key())
+	}
+}

@@ -83,6 +83,24 @@ type Options struct {
 	ProfileBudget int64
 }
 
+// Key returns the canonical identity of the options: every field that
+// can change the synthesized instruction set (or the profile feeding
+// it) is folded in, in a fixed order, so the string is a stable memo
+// and run-ID key for design-space sweeps and result caches. Trace is
+// deliberately excluded — a decision log observes the synthesis, it
+// never alters the outcome. TestOptionsKeyCoversAllFields enforces by
+// reflection that a newly added field lands either here or on that
+// explicit non-identity list, so a forgotten field fails the build's
+// tests instead of silently serving stale memo entries.
+func (o Options) Key() string {
+	budget := o.ProfileBudget
+	if budget == 0 {
+		budget = DefaultProfileBudget
+	}
+	return fmt.Sprintf("synth/v1 k=%d dict=%d nodict=%t nowin=%t notwoop=%t nobase=%t budget=%d",
+		o.ForceK, o.DictCap, o.NoDict, o.NoWindowRanking, o.NoTwoOp, o.NoBasePoints, budget)
+}
+
 // DefaultProfileBudget is the profiling instruction budget used when
 // Options.ProfileBudget is zero — generous enough that every shipped
 // kernel at every scale runs to completion.
