@@ -20,8 +20,9 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (parallel engine + sim + telemetry) =="
-go test -race ./internal/sim ./internal/experiments ./internal/telemetry ./cmd/internal/cli
+echo "== go test -race (parallel engine + sim + telemetry + serving plane) =="
+go test -race ./internal/sim ./internal/experiments ./internal/telemetry ./cmd/internal/cli \
+    ./internal/serve ./internal/archive
 
 echo "== benchmark smoke: fetch port stays allocation-free =="
 bench=$(go test -run=NONE -bench=BenchmarkFetchPort -benchtime=10x -benchmem .)
@@ -73,10 +74,11 @@ echo "== sampled estimator: accuracy gate on one kernel =="
 go test ./internal/sim -run 'TestSampledAccuracy/jpeg' -count=1
 
 echo "== perf trajectory: pipeline benchmark record =="
-# Refreshes BENCH_pipeline.json (schema v3: cycles/sec of the timing
+# Refreshes BENCH_pipeline.json (schema v5: cycles/sec of the timing
 # loop, the sampled estimator with its measured cycle error, instrs/sec
-# of the functional machine on all three execution paths, and the
-# per-kernel Prepare cost) so successive PRs can chart regressions; a
+# of the functional machine on all three execution paths, the
+# per-kernel Prepare cost, the design-space sweep, and the serving
+# plane's hit/cold req/sec) so successive PRs can chart regressions; a
 # per-entry delta table against the previous record prints first.
 go run ./cmd/fitsbench -pipebench BENCH_pipeline.json
 
@@ -121,6 +123,57 @@ if ! wait "$tele_pid"; then
     exit 1
 fi
 
+echo "== serving plane: daemon smoke (cache hit + CLI equivalence) =="
+# Boots `powerfits serve` on an ephemeral port (same -telemetry-addrfile
+# handshake as the debug server), POSTs one scale-1 request twice, and
+# asserts the contract end to end: the second response is a cache hit
+# (the serve/cache hit counter moves, checked through `powerfits
+# scrape`), both bodies are byte-identical, and both match the report a
+# direct `powerfits run -o` computes locally. SIGTERM must drain
+# gracefully (exit 0).
+serve_tmp=$(mktemp -d)
+trap 'rm -rf "$serve_tmp" "$trace_tmp" "$tele_tmp"' EXIT
+"$tele_tmp/powerfits" serve -addr 127.0.0.1:0 -telemetry-addrfile "$serve_tmp/addr" \
+    -dir "$serve_tmp/store" -j 2 >"$serve_tmp/serve.out" 2>"$serve_tmp/serve.log" &
+serve_pid=$!
+saddr=""
+for _ in $(seq 1 100); do
+    if [ -s "$serve_tmp/addr" ]; then saddr=$(cat "$serve_tmp/addr"); break; fi
+    sleep 0.1
+done
+if [ -z "$saddr" ]; then
+    echo "ci.sh: serve daemon never published its address" >&2
+    cat "$serve_tmp/serve.log" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+"$tele_tmp/powerfits" call -url "http://$saddr/synth" -kernel crc32 -scale 1 \
+    -config FITS8 -o "$serve_tmp/first.json" 2>>"$serve_tmp/serve.log"
+"$tele_tmp/powerfits" call -url "http://$saddr/synth" -kernel crc32 -scale 1 \
+    -config FITS8 -o "$serve_tmp/second.json" 2>>"$serve_tmp/serve.log"
+if ! cmp -s "$serve_tmp/first.json" "$serve_tmp/second.json"; then
+    echo "ci.sh: cached serve response differs from the cold one" >&2
+    exit 1
+fi
+"$tele_tmp/powerfits" scrape -url "http://$saddr/metrics" -o "$serve_tmp/metrics.txt" >/dev/null
+if ! grep -q 'powerfits_hits_total{scope="serve/cache"} 1' "$serve_tmp/metrics.txt"; then
+    echo "ci.sh: second serve request was not a cache hit:" >&2
+    grep 'scope="serve/cache"' "$serve_tmp/metrics.txt" >&2 || true
+    exit 1
+fi
+"$tele_tmp/powerfits" run -kernel crc32 -scale 1 -config FITS8 \
+    -o "$serve_tmp/direct.json" >/dev/null 2>&1
+if ! cmp -s "$serve_tmp/first.json" "$serve_tmp/direct.json"; then
+    echo "ci.sh: serve response differs from the direct powerfits run report" >&2
+    exit 1
+fi
+kill -TERM "$serve_pid"
+if ! wait "$serve_pid"; then
+    echo "ci.sh: serve daemon did not drain cleanly on SIGTERM" >&2
+    cat "$serve_tmp/serve.log" >&2
+    exit 1
+fi
+
 echo "== incremental sweep gate: warm re-sweep does zero simulation =="
 # Runs the same small design-space sweep twice against one run store.
 # The cold pass simulates every point; the warm pass must resolve 100%
@@ -128,7 +181,7 @@ echo "== incremental sweep gate: warm re-sweep does zero simulation =="
 # count == point count) and reproduce the frontier document byte for
 # byte — the determinism + incrementality contract of internal/sweep.
 sweep_tmp=$(mktemp -d)
-trap 'rm -rf "$sweep_tmp" "$trace_tmp" "$tele_tmp"' EXIT
+trap 'rm -rf "$sweep_tmp" "$serve_tmp" "$trace_tmp" "$tele_tmp"' EXIT
 sweep_axes="-kernel crc32 -scale 1 -ks 4,5,6 -dicts 16,64 -caches 4K,8K"
 go run ./cmd/powerfits sweep $sweep_axes -dir "$sweep_tmp/store" \
     -o "$sweep_tmp/cold.json" 2>"$sweep_tmp/cold.log" >/dev/null
@@ -151,7 +204,7 @@ echo "== regression gate: scale-1 suite vs committed baseline =="
 # refresh the baseline with:
 #   go run ./cmd/fitsbench -scale 1 -q -exp headline -archive testdata/baseline.json
 gate_tmp=$(mktemp -d)
-trap 'rm -rf "$gate_tmp" "$sweep_tmp" "$trace_tmp" "$tele_tmp"' EXIT
+trap 'rm -rf "$gate_tmp" "$sweep_tmp" "$serve_tmp" "$trace_tmp" "$tele_tmp"' EXIT
 go run ./cmd/fitsbench -scale 1 -q -exp headline -archive "$gate_tmp/current.json" >/dev/null
 go run ./cmd/powerfits diff -base testdata/baseline.json -new "$gate_tmp/current.json"
 

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -18,6 +21,7 @@ import (
 	"powerfits/internal/kernels"
 	"powerfits/internal/power"
 	"powerfits/internal/program"
+	"powerfits/internal/serve"
 	"powerfits/internal/sim"
 	"powerfits/internal/sweep"
 	"powerfits/internal/synth"
@@ -27,10 +31,12 @@ import (
 // functional-machine rows (interpreted vs compiled, instrs_per_sec)
 // and the Prepare row next to the v1 pipeline rows; v3 added the
 // superblock machine row and the sampled-pipeline rows, each carrying
-// its measured cycle error against the exact run; v4 adds the
+// its measured cycle error against the exact run; v4 added the
 // design-space sweep rows (cold vs warm store, points_per_sec and the
-// profile memo hit rate).
-const PipeBenchSchema = "powerfits-pipebench/v4"
+// profile memo hit rate); v5 adds the serving-plane rows (Serve/Hit
+// replaying the result cache, Serve/Cold running the full flow per
+// request, both with req_per_sec).
+const PipeBenchSchema = "powerfits-pipebench/v5"
 
 // pipeBenchSchemaPrefix matches any record revision — the delta table
 // tolerates comparing across schema versions (new rows show as added).
@@ -57,7 +63,10 @@ type pipeBenchEntry struct {
 	// hit fraction over the measured run.
 	PointsPerSec float64 `json:"points_per_sec,omitempty"`
 	MemoHitRate  float64 `json:"memo_hit_rate,omitempty"`
-	Iterations   int     `json:"iterations"`
+	// ReqPerSec describes the serving-plane rows: /synth requests
+	// answered per second through the in-process handler.
+	ReqPerSec  float64 `json:"req_per_sec,omitempty"`
+	Iterations int     `json:"iterations"`
 }
 
 // pipeBenchReport is the perf-trajectory record successive PRs diff to
@@ -142,6 +151,7 @@ func (rep *pipeBenchReport) record(name string, r testing.BenchmarkResult) *pipe
 		InstrsPerSec: r.Extra["instrs/s"],
 		PointsPerSec: r.Extra["points/s"],
 		MemoHitRate:  r.Extra["memo-hit-rate"],
+		ReqPerSec:    r.Extra["req/s"],
 		Iterations:   r.N,
 	}
 	rep.Entries = append(rep.Entries, e)
@@ -151,6 +161,9 @@ func (rep *pipeBenchReport) record(name string, r testing.BenchmarkResult) *pipe
 	}
 	if e.PointsPerSec > 0 {
 		rate, unit = e.PointsPerSec, "points/s"
+	}
+	if e.ReqPerSec > 0 {
+		rate, unit = e.ReqPerSec, "req/s"
 	}
 	cli.Raw("%-32s %12.0f ns/op %14.0f %-8s %4d allocs/op\n",
 		e.Name, e.NsPerOp, rate, unit, e.AllocsPerOp)
@@ -238,6 +251,9 @@ func runPipeBench(path, kernel string, scale int) error {
 	if err := pipeBenchSweep(&rep, kernel, scale); err != nil {
 		return err
 	}
+	if err := pipeBenchServe(&rep, kernel, scale); err != nil {
+		return err
+	}
 
 	if prev, err := readPipeBench(path); err == nil {
 		comparePipeBench(prev, &rep)
@@ -315,6 +331,62 @@ func pipeBenchSweep(rep *pipeBenchReport, kernel string, scale int) error {
 
 	cli.Raw("%-32s %12s warm/cold speedup %.1fx, cold memo hit rate %.2f\n",
 		"", "", cold.NsPerOp/warm.NsPerOp, cold.MemoHitRate)
+	return nil
+}
+
+// pipeBenchServe measures the serving plane through the in-process
+// handler (no sockets): Serve/Hit replays one cached request — the
+// O(1) lookup path most multi-tenant traffic takes — and Serve/Cold
+// gives every iteration a fresh synthesis identity so it pays the full
+// profile→synthesize→simulate flow. Both rows carry req_per_sec; their
+// ns/op ratio is the result cache's speedup (the ≥50× BenchmarkServe
+// gate, recorded here as a trajectory).
+func pipeBenchServe(rep *pipeBenchReport, kernel string, scale int) error {
+	do := func(b *testing.B, h http.Handler, blob []byte) {
+		w := httptest.NewRecorder()
+		r := httptest.NewRequest(http.MethodPost, "/synth", bytes.NewReader(blob))
+		r.Header.Set("Content-Type", "application/json")
+		h.ServeHTTP(w, r)
+		if w.Code != http.StatusOK {
+			b.Fatalf("serve answered %d: %s", w.Code, w.Body)
+		}
+	}
+
+	hitSvc := serve.New(serve.Options{Workers: 2})
+	hitH := hitSvc.Handler()
+	hot, err := json.Marshal(serve.Request{Kernel: kernel, Scale: scale, Configs: []string{"FITS8"}})
+	if err != nil {
+		return err
+	}
+	hit := rep.record("Serve/Hit", testing.Benchmark(func(b *testing.B) {
+		do(b, hitH, hot) // warm the cache outside the timer
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			do(b, hitH, hot)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	}))
+
+	coldSvc := serve.New(serve.Options{Workers: 2})
+	coldH := coldSvc.Handler()
+	coldN := 0 // a unique dictionary budget per op keeps every request cold
+	cold := rep.record("Serve/Cold", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			coldN++
+			blob, merr := json.Marshal(serve.Request{Kernel: kernel, Scale: scale,
+				Configs: []string{"FITS8"}, Synth: serve.SynthKnobs{DictCap: 256 + coldN}})
+			if merr != nil {
+				b.Fatal(merr)
+			}
+			do(b, coldH, blob)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	}))
+	cli.Raw("%-32s %12s hit/cold speedup %.0fx\n", "", "", cold.NsPerOp/hit.NsPerOp)
 	return nil
 }
 

@@ -33,6 +33,12 @@
 //	powerfits explain -in <id|file>                        # replay an archived trace
 //	powerfits scrape -url http://host:port/metrics [-o out]  # fetch + strict-parse a live exposition
 //	powerfits scrape -url http://host:port/healthz -health   # liveness probe
+//	powerfits serve  [-addr host:port] [-j N] [-queue N]     # synthesis daemon: POST /synth
+//	                 [-batch-window D] [-cache-entries N] [-dir runs/]
+//	powerfits call   -url http://host:port/synth [-kernel crc32|-file prog.s]
+//	                 [-scale N] [-config FITS8] [-sample] [-o report.json]
+//	powerfits loadgen -url http://host:port/synth [-j N] [-n N|-duration D]
+//	                  [-hit F] [-kernel crc32] [-scale N] [-sample] [-o report.json]
 //
 // Every subcommand also accepts -log-level/-log-json (structured run
 // logging) and -telemetry addr (serve /metrics, /healthz, /progress,
@@ -60,7 +66,7 @@ import (
 )
 
 func usage() {
-	cli.Rawln("usage: powerfits <list|info|isa|disasm|dump|run|report|trace|profile|asm|sweep|config|archive|diff|explain|scrape> [flags]")
+	cli.Rawln("usage: powerfits <list|info|isa|disasm|dump|run|report|trace|profile|asm|sweep|config|archive|diff|explain|scrape|serve|call|loadgen> [flags]")
 	os.Exit(2)
 }
 
@@ -120,8 +126,16 @@ func main() {
 	cpuProf := fs.String("cpuprofile", "", "write a pprof CPU profile to this path")
 	memProf := fs.String("memprofile", "", "write a pprof heap profile to this path")
 	traceOut := fs.String("trace", "", "write a runtime/trace execution trace to this path")
-	url := fs.String("url", "", "telemetry endpoint to fetch (scrape command)")
+	url := fs.String("url", "", "telemetry endpoint to fetch (scrape command) or daemon /synth endpoint (call/loadgen)")
 	health := fs.Bool("health", false, "treat the response as a /healthz JSON document instead of a Prometheus exposition (scrape command)")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address for the synthesis daemon (port 0 = ephemeral; serve command)")
+	queue := fs.Int("queue", 0, "bounded accept queue beyond the worker pool, 429 past it (0 = 4×workers; serve command)")
+	batchWindow := fs.Duration("batch-window", 0, "hold each preparation open so near-simultaneous requests share it (serve command)")
+	cacheEntries := fs.Int("cache-entries", 0, "in-memory result-cache entries (0 = 512; serve command)")
+	duration := fs.Duration("duration", 5*time.Second, "load duration when -n is 0 (loadgen command)")
+	hitFrac := fs.Float64("hit", 0.9, "fraction of loadgen requests drawn from the fixed hot request (loadgen command)")
+	nReqs := fs.Int("n", 0, "total loadgen requests (0 = run for -duration; loadgen command)")
+	callTimeout := fs.Duration("timeout", 2*time.Minute, "request timeout (call command)")
 	tf := cli.RegisterFlags(fs)
 	log = cli.Parse("powerfits", fs, tf, os.Args[2:])
 
@@ -134,6 +148,21 @@ func main() {
 
 	if cmd == "scrape" {
 		cmdScrape(*url, *outPath, *health)
+		return
+	}
+
+	switch cmd {
+	case "serve":
+		cmdServe(serveOpts{Addr: *addr, AddrFile: tf.TelemetryAddrFile, Dir: *dir,
+			Workers: *jobs, Queue: *queue, CacheEntries: *cacheEntries, BatchWindow: *batchWindow})
+		return
+	case "call":
+		cmdCall(callOpts{URL: *url, Kernel: *kernel, Scale: *scale, Config: *cfgName,
+			Sample: *sample, File: *file, Out: *outPath, Timeout: *callTimeout})
+		return
+	case "loadgen":
+		cmdLoadgen(serveLoadOptions(*url, *jobs, *nReqs, *duration, *hitFrac,
+			*kernel, *scale, *sample, *seed), *outPath)
 		return
 	}
 
@@ -234,6 +263,9 @@ func main() {
 		fmt.Print(asm.Format(s.Prog))
 	case "run":
 		run(s, *cfgName, runOutputs{Metrics: *metricsPath, Phases: *phasesPath, Window: *window, Sample: *sample})
+		if *outPath != "" {
+			writeReportFromSetup(s, *cfgName, *sample, *outPath)
+		}
 	case "trace":
 		cmdTrace(s, *cfgName, *outPath, *limit, *sample)
 	case "profile":

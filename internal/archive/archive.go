@@ -15,13 +15,16 @@ package archive
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"powerfits/internal/experiments"
 	"powerfits/internal/metrics"
@@ -106,6 +109,55 @@ type Record struct {
 	// only from the point's identity, so a resumed or extended sweep
 	// can probe the store before paying for simulation.
 	Sweep *SweepPoint `json:"sweep,omitempty"`
+
+	// Serve is the payload of a serving-plane result-cache record: the
+	// exact response `powerfits serve` produced for one canonicalized
+	// request. Like Sweep records, the ID derives only from the
+	// request's identity, so the daemon can probe the store before
+	// paying for synthesis.
+	Serve *ServeResult `json:"serve,omitempty"`
+}
+
+// ServeResult memoizes one served synthesis response. Body holds the
+// response payload as raw bytes (base64 in the JSON document) rather
+// than nested JSON, so a cache hit replays the cold response
+// byte-identically — re-indenting on archive round-trip would break
+// the serve plane's equivalence guarantee.
+type ServeResult struct {
+	// Key is the canonical request hash — the same value the record's
+	// run ID derives from.
+	Key string `json:"key"`
+	// Request echoes the canonicalized request document for operators
+	// browsing the store.
+	Request json.RawMessage `json:"request,omitempty"`
+	// Body is the exact response payload.
+	Body []byte `json:"body"`
+}
+
+// ServeRunID returns the deterministic run ID a serving-plane record
+// with this canonical request key files under — callable before the
+// request has been computed, which is the daemon's cache-probe path.
+// The "serve/" prefix namespaces serve records away from suite, sweep
+// and trace records that might share a hash input.
+func ServeRunID(scale int, key string) string {
+	return runID(scale, "serve/"+key)
+}
+
+// FromServe wraps one computed response as a store record. The run ID
+// depends only on the canonical request key (which already folds in
+// the sampled-vs-exact marker, synthesis knobs and calibration), never
+// on the response bytes or wall-clock, so re-serving the same request
+// overwrites rather than duplicates.
+func FromServe(scale int, key string, request json.RawMessage, sampled bool, body []byte) *Record {
+	return &Record{
+		Schema:        Schema,
+		SchemaVersion: SchemaVersion,
+		RunID:         ServeRunID(scale, key),
+		Scale:         scale,
+		ConfigHash:    key,
+		Sampled:       sampled,
+		Serve:         &ServeResult{Key: key, Request: request, Body: body},
+	}
 }
 
 // runID derives the deterministic run identifier from identity-bearing
@@ -391,6 +443,11 @@ func ReadFile(path string) (*Record, error) {
 }
 
 // Store is a directory of archived runs, one <run-id>.json per record.
+//
+// A Store is safe for concurrent use: Save serializes writers behind a
+// single-writer lock, and Get tolerates readers racing a writer
+// mid-rename, which is what lets the serving plane share one Store as
+// a result-cache backend across many handler goroutines.
 type Store struct {
 	Dir string
 
@@ -399,6 +456,12 @@ type Store struct {
 	// files thousands of point records.
 	mkdir    sync.Once
 	mkdirErr error
+
+	// save serializes writers. The temp+rename write is atomic with
+	// respect to readers, but two goroutines saving the same run ID
+	// would otherwise race their renames in arbitrary order; a
+	// single-writer lock makes the last Save the record on disk.
+	save sync.Mutex
 }
 
 // NewStore returns a store rooted at dir ("" selects DefaultDir).
@@ -427,6 +490,8 @@ func (s *Store) Save(r *Record) (string, error) {
 		return "", s.mkdirErr
 	}
 	path := s.Path(r.RunID)
+	s.save.Lock()
+	defer s.save.Unlock()
 	if err := r.writeAtomic(path); err != nil {
 		return "", err
 	}
@@ -436,6 +501,31 @@ func (s *Store) Save(r *Record) (string, error) {
 // Load reads one record by run ID.
 func (s *Store) Load(id string) (*Record, error) {
 	return ReadFile(s.Path(id))
+}
+
+// Get probes the store for a run ID: (record, true) when present and
+// readable, (nil, false, nil) when absent. Unlike Load it separates
+// "not cached" from real failures, and it retries one transient read
+// failure: on filesystems where rename is not atomic with respect to
+// open (or when a record is replaced between open and decode), a
+// reader racing a writer can observe a short-lived inconsistent view,
+// and a cache probe must not turn that race into a hard error.
+func (s *Store) Get(id string) (*Record, bool, error) {
+	path := s.Path(id)
+	for attempt := 0; ; attempt++ {
+		r, err := ReadFile(path)
+		if err == nil {
+			return r, true, nil
+		}
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, false, nil
+		}
+		if attempt == 0 {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		return nil, false, err
+	}
 }
 
 // List reads every record in the store, sorted by manifest start time

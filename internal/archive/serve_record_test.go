@@ -1,0 +1,118 @@
+package archive
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestServeRecordRoundTrip(t *testing.T) {
+	// The serve payload must round-trip its response bytes exactly:
+	// the daemon's byte-identity guarantee hangs on the archived Body
+	// never being re-indented or otherwise normalized.
+	body := []byte("{\n  \"x\": 1,\t\"weird\": \"  spacing\"\n}\n")
+	req := json.RawMessage(`{"kernel":"crc32","scale":1}`)
+	rec := FromServe(1, "cafebabe", req, false, body)
+	if rec.RunID != ServeRunID(1, "cafebabe") {
+		t.Fatalf("run ID mismatch: %s vs %s", rec.RunID, ServeRunID(1, "cafebabe"))
+	}
+
+	st := NewStore(t.TempDir())
+	if _, err := st.Save(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Get(rec.RunID)
+	if err != nil || !ok {
+		t.Fatalf("Get(%s) = ok=%v err=%v", rec.RunID, ok, err)
+	}
+	if got.Serve == nil {
+		t.Fatal("round-tripped record lost its serve payload")
+	}
+	if !bytes.Equal(got.Serve.Body, body) {
+		t.Fatalf("body not byte-identical after round trip:\n got: %q\nwant: %q", got.Serve.Body, body)
+	}
+	if got.Serve.Key != "cafebabe" {
+		t.Fatalf("key = %q", got.Serve.Key)
+	}
+}
+
+func TestServeRunIDNamespacing(t *testing.T) {
+	// Serve IDs must not collide with suite/sweep IDs built from the
+	// same hash, and distinct keys or scales must get distinct IDs.
+	if ServeRunID(1, "h") == runID(1, "h") {
+		t.Fatal("serve run ID collides with the plain run-ID namespace")
+	}
+	if ServeRunID(1, "a") == ServeRunID(1, "b") {
+		t.Fatal("distinct keys share a run ID")
+	}
+	if ServeRunID(1, "a") == ServeRunID(2, "a") {
+		t.Fatal("distinct scales share a run ID")
+	}
+}
+
+func TestStoreGetUnderContention(t *testing.T) {
+	// The serving plane funnels many handler goroutines into one Store:
+	// writers re-saving the same run ID while readers probe it. Under
+	// -race this exercises the single-writer Save lock and Get's
+	// mid-rename tolerance; every successful Get must observe a
+	// complete, valid record (never a torn one).
+	st := NewStore(t.TempDir())
+	const (
+		writers = 4
+		readers = 4
+		rounds  = 50
+	)
+	rec := FromServe(1, "contended", nil, false, bytes.Repeat([]byte("payload "), 512))
+	// Seed the record so readers are guaranteed to observe it at least
+	// once even if they out-race every concurrent writer.
+	if _, err := st.Save(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if _, err := st.Save(rec); err != nil {
+					errs <- fmt.Errorf("save: %w", err)
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			seen := false
+			for i := 0; i < rounds; i++ {
+				got, ok, err := st.Get(rec.RunID)
+				if err != nil {
+					errs <- fmt.Errorf("get: %w", err)
+					return
+				}
+				if !ok {
+					continue
+				}
+				seen = true
+				if got.Serve == nil || !bytes.Equal(got.Serve.Body, rec.Serve.Body) {
+					errs <- fmt.Errorf("get observed a torn record")
+					return
+				}
+			}
+			if !seen {
+				errs <- fmt.Errorf("reader never observed the record")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

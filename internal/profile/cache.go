@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"container/list"
 	"sync"
 )
 
@@ -28,6 +29,8 @@ type cacheEntry struct {
 	ready chan struct{}
 	prof  *Profile
 	err   error
+	key   CacheKey
+	elem  *list.Element
 }
 
 // Cache memoizes Collect results by CacheKey so many synthesis points
@@ -46,13 +49,32 @@ type cacheEntry struct {
 type Cache struct {
 	mu      sync.Mutex
 	entries map[CacheKey]*cacheEntry
+	order   *list.List // most recently used first
+	limit   int        // 0 = unbounded
 	hits    uint64
 	misses  uint64
+	evicted uint64
 }
 
-// NewCache returns an empty profile cache.
+// NewCache returns an empty, unbounded profile cache — the right shape
+// for a finite batch job (suite run, design-space sweep) whose key
+// population is known up front.
 func NewCache() *Cache {
-	return &Cache{entries: make(map[CacheKey]*cacheEntry)}
+	return NewBoundedCache(0)
+}
+
+// NewBoundedCache returns a cache holding at most limit distinct keys,
+// evicting least-recently-used profiles past the bound (limit ≤ 0 is
+// unbounded). A long-running service over an open-ended program
+// population needs the bound: profiles are large (per-address dynamic
+// counts), and an unbounded memo is a slow memory leak.
+//
+// Eviction forgets the memo without invalidating outstanding
+// references: callers already holding the shared *Profile (including
+// waiters blocked on an in-flight collection) are unaffected, the key
+// just pays a fresh collection next time.
+func NewBoundedCache(limit int) *Cache {
+	return &Cache{entries: make(map[CacheKey]*cacheEntry), order: list.New(), limit: limit}
 }
 
 // Collect returns the memoized profile for key, running collect to
@@ -66,13 +88,24 @@ func (c *Cache) Collect(key CacheKey, collect func() (*Profile, error)) (*Profil
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.hits++
+		c.order.MoveToFront(e.elem)
 		c.mu.Unlock()
 		<-e.ready
 		return e.prof, e.err
 	}
-	e := &cacheEntry{ready: make(chan struct{})}
+	e := &cacheEntry{ready: make(chan struct{}), key: key}
 	c.entries[key] = e
+	e.elem = c.order.PushFront(e)
 	c.misses++
+	if c.limit > 0 {
+		for len(c.entries) > c.limit {
+			oldest := c.order.Back()
+			old := oldest.Value.(*cacheEntry)
+			c.order.Remove(oldest)
+			delete(c.entries, old.key)
+			c.evicted++
+		}
+	}
 	c.mu.Unlock()
 
 	e.prof, e.err = collect()
@@ -90,6 +123,17 @@ func (c *Cache) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Evicted returns how many memoized profiles the capacity bound has
+// discarded.
+func (c *Cache) Evicted() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicted
 }
 
 // Len returns the number of distinct keys held.

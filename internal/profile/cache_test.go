@@ -118,3 +118,44 @@ func TestNilCacheAlwaysCollects(t *testing.T) {
 		t.Fatalf("nil cache stats = %d/%d, want 0/0", hits, misses)
 	}
 }
+
+func TestBoundedCacheEvictsLRU(t *testing.T) {
+	c := NewBoundedCache(2)
+	p := kernels.MustGet("crc32").Build(1)
+	runs := 0
+	collect := func() (*Profile, error) {
+		runs++
+		return Collect(p, 0)
+	}
+	key := func(i int) CacheKey { return CacheKey{Image: "img", Budget: uint64(i)} }
+
+	// Fill: a, b. Touch a (making b least recently used), then insert c:
+	// b must be the eviction victim.
+	for _, i := range []int{1, 2, 1, 3} {
+		if _, err := c.Collect(key(i), collect); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if runs != 3 {
+		t.Fatalf("collect ran %d times, want 3", runs)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("bounded cache holds %d keys, want 2", c.Len())
+	}
+	if c.Evicted() != 1 {
+		t.Fatalf("evicted = %d, want 1", c.Evicted())
+	}
+	// a (key 1) survived the eviction; b (key 2) did not.
+	if _, err := c.Collect(key(1), collect); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 3 {
+		t.Fatalf("recently-used key was evicted (runs = %d, want 3)", runs)
+	}
+	if _, err := c.Collect(key(2), collect); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 4 {
+		t.Fatalf("LRU key survived eviction (runs = %d, want 4)", runs)
+	}
+}

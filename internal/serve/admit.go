@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"powerfits/internal/metrics"
+)
+
+// errBusy is the saturation signal: the accept queue is full and the
+// request must be fast-failed (HTTP 429) rather than queued — the
+// bounded-queue discipline that keeps an overloaded daemon at a fixed
+// goroutine and memory ceiling instead of an unbounded pileup.
+var errBusy = errors.New("serve: at capacity")
+
+// admitter gates cold computations: at most `workers` run at once, at
+// most `queue` more may wait, and everything beyond that is rejected
+// immediately. Cache hits never pass through it.
+type admitter struct {
+	slots   chan struct{}
+	limit   int64
+	pending atomic.Int64
+
+	depth    *metrics.Gauge   // serve/admit/queue_depth: waiting + running
+	running  *metrics.Gauge   // serve/admit/running
+	active   atomic.Int64     // backs the running gauge
+	rejected *metrics.Counter // serve/admit/rejected
+}
+
+func newAdmitter(workers, queue int, sc metrics.Scope) *admitter {
+	return &admitter{
+		slots:    make(chan struct{}, workers),
+		limit:    int64(workers + queue),
+		depth:    sc.Gauge("queue_depth"),
+		running:  sc.Gauge("running"),
+		rejected: sc.Counter("rejected"),
+	}
+}
+
+// acquire claims a worker slot, waiting in the bounded queue when all
+// slots are busy. It returns errBusy on saturation and ctx.Err() when
+// the client gives up mid-queue; on success the returned release must
+// be called exactly once.
+func (a *admitter) acquire(ctx context.Context) (release func(), err error) {
+	n := a.pending.Add(1)
+	if n > a.limit {
+		a.pending.Add(-1)
+		a.rejected.Inc()
+		return nil, errBusy
+	}
+	a.depth.Set(float64(n))
+	select {
+	case a.slots <- struct{}{}:
+	case <-ctx.Done():
+		a.depth.Set(float64(a.pending.Add(-1)))
+		return nil, ctx.Err()
+	}
+	a.running.Set(float64(a.active.Add(1)))
+	return func() {
+		<-a.slots
+		a.running.Set(float64(a.active.Add(-1)))
+		a.depth.Set(float64(a.pending.Add(-1)))
+	}, nil
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// benchPost drives one marshaled request through the handler
+// in-process (no sockets: the benchmark measures the service, not the
+// loopback stack).
+func benchPost(b *testing.B, h http.Handler, blob []byte, wantTier string) {
+	w := doPostRaw(h, blob)
+	if w.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	if tier := w.Header().Get("X-Powerfits-Cache"); wantTier != "" && tier != wantTier {
+		b.Fatalf("served from %q, want %q", tier, wantTier)
+	}
+}
+
+// BenchmarkServe times the two serving paths: Hit replays one cached
+// request, Cold gives every iteration a fresh synthesis identity so it
+// runs the full profile→synthesize→simulate flow. The ratio between
+// them is the result cache's speedup (asserted ≥50× by
+// TestServeHitSpeedup).
+func BenchmarkServe(b *testing.B) {
+	b.Run("Hit", func(b *testing.B) {
+		svc := New(Options{Workers: 2})
+		h := svc.Handler()
+		blob, _ := json.Marshal(Request{Kernel: "crc32", Scale: 1, Configs: []string{"FITS8"}})
+		benchPost(b, h, blob, "cold") // warm the cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchPost(b, h, blob, "hit")
+		}
+	})
+	b.Run("Cold", func(b *testing.B) {
+		svc := New(Options{Workers: 2})
+		h := svc.Handler()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A unique dictionary budget per iteration keeps the profile
+			// memoized (as in production: one program, many option
+			// sweeps) but forces synthesis + simulation every time.
+			blob, _ := json.Marshal(Request{Kernel: "crc32", Scale: 1, Configs: []string{"FITS8"},
+				Synth: SynthKnobs{DictCap: 257 + i}})
+			benchPost(b, h, blob, "cold")
+		}
+	})
+}
+
+// TestServeHitSpeedup is the acceptance gate on the result cache: the
+// hit path must be at least 50× faster than the cold path for the same
+// request shape.
+func TestServeHitSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed test skipped in -short mode")
+	}
+	svc := New(Options{Workers: 2})
+	h := svc.Handler()
+	hot, _ := json.Marshal(Request{Kernel: "crc32", Scale: 1, Configs: []string{"FITS8"}})
+
+	cold := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			blob, _ := json.Marshal(Request{Kernel: "crc32", Scale: 1, Configs: []string{"FITS8"},
+				Synth: SynthKnobs{DictCap: 257 + i}})
+			w := doPostRaw(h, blob)
+			if w.Code != http.StatusOK {
+				b.Fatalf("cold status %d: %s", w.Code, w.Body)
+			}
+		}
+	})
+
+	// Warm, then time the hit path.
+	if w := doPostRaw(h, hot); w.Code != http.StatusOK {
+		t.Fatalf("warmup status %d: %s", w.Code, w.Body)
+	}
+	hit := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w := doPostRaw(h, hot)
+			if w.Code != http.StatusOK {
+				b.Fatalf("hit status %d: %s", w.Code, w.Body)
+			}
+		}
+	})
+
+	coldNs, hitNs := cold.NsPerOp(), hit.NsPerOp()
+	if hitNs == 0 {
+		hitNs = 1
+	}
+	ratio := float64(coldNs) / float64(hitNs)
+	t.Logf("cold %v/op, hit %v/op: %.0f× speedup", coldNs, hitNs, ratio)
+	if ratio < 50 {
+		t.Fatalf("hit path only %.1f× faster than cold (%d ns vs %d ns), want ≥50×",
+			ratio, hitNs, coldNs)
+	}
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultLRU is the in-memory front of the result cache: canonical
+// request key → exact response bytes, bounded by entry count. It sits
+// in front of the archive store so repeat requests are served from
+// memory without touching disk; the store behind it makes the cache
+// durable across daemon restarts.
+type resultLRU struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // most recently used first
+	limit   int
+}
+
+type lruEntry struct {
+	key  string
+	body []byte
+}
+
+func newResultLRU(limit int) *resultLRU {
+	return &resultLRU{entries: make(map[string]*list.Element), order: list.New(), limit: limit}
+}
+
+// get returns the cached response bytes for key. Callers must treat
+// the slice as immutable — it is shared with every other hit.
+func (l *resultLRU) get(key string) ([]byte, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.entries[key]
+	if !ok {
+		return nil, false
+	}
+	l.order.MoveToFront(e)
+	return e.Value.(*lruEntry).body, true
+}
+
+func (l *resultLRU) put(key string, body []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e, ok := l.entries[key]; ok {
+		l.order.MoveToFront(e)
+		e.Value.(*lruEntry).body = body
+		return
+	}
+	l.entries[key] = l.order.PushFront(&lruEntry{key: key, body: body})
+	for len(l.entries) > l.limit {
+		oldest := l.order.Back()
+		delete(l.entries, oldest.Value.(*lruEntry).key)
+		l.order.Remove(oldest)
+	}
+}
+
+func (l *resultLRU) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}

@@ -1,0 +1,408 @@
+// Package serve is the PowerFITS synthesis daemon: an HTTP/JSON
+// service that turns the per-application design flow (profile →
+// synthesize → translate → simulate) into a multi-tenant endpoint.
+// Clients POST a program plus options to /synth and receive the full
+// synthesized-ISA report.
+//
+// Three layers keep it fast under load:
+//
+//  1. Result cache — requests canonicalize to the config-hash identity
+//     scheme internal/archive uses for run IDs; identical requests are
+//     served byte-identically from an in-memory LRU backed by the
+//     archive store (so the cache survives restarts).
+//  2. Shared immutable state + admission control — cold requests share
+//     read-only predecode/compiled tables (sim.Prepare's concurrency
+//     contract) and a bounded profile.Cache, gated by a worker
+//     semaphore with a bounded accept queue and fast-fail 429s beyond
+//     it.
+//  3. Batching — concurrent requests sharing an image coalesce into
+//     one preparation (optionally held open for a small window) and
+//     fan back out; fully identical requests coalesce into one
+//     computation.
+//
+// The daemon rides the telemetry plane: /metrics, /healthz, /progress
+// and pprof are mounted beside /synth.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"powerfits/internal/archive"
+	"powerfits/internal/experiments"
+	"powerfits/internal/metrics"
+	"powerfits/internal/profile"
+	"powerfits/internal/sim"
+	"powerfits/internal/telemetry"
+)
+
+// Options configures a Service. Every zero field takes a sensible
+// default; the zero Options is a working single-process daemon with an
+// in-memory cache only.
+type Options struct {
+	// Workers bounds concurrent cold computations (default
+	// GOMAXPROCS).
+	Workers int
+	// Queue bounds cold requests waiting behind busy workers (default
+	// 4×Workers). Requests beyond Workers+Queue fast-fail with 429.
+	Queue int
+	// BatchWindow holds each preparation open so near-simultaneous
+	// requests for the same image join it (default 0: coalesce only
+	// truly concurrent arrivals).
+	BatchWindow time.Duration
+	// CacheEntries bounds the in-memory result LRU (default 512).
+	CacheEntries int
+	// SetupEntries bounds the prepared-image LRU (default 64).
+	SetupEntries int
+	// ProfileEntries bounds the profile memo (default 128 keys).
+	ProfileEntries int
+	// Store, when non-nil, persists responses as archive records —
+	// the durable cache tier. Nil serves from memory only.
+	Store *archive.Store
+	// Registry receives the serve/* instruments (default: fresh).
+	Registry *metrics.Registry
+	// Tracker backs /progress (default: fresh, mirrored into
+	// Registry).
+	Tracker *telemetry.Tracker
+	// Log receives request and lifecycle records.
+	Log *slog.Logger
+}
+
+// maxRequestBytes bounds a /synth request body; assembly sources are
+// text and comfortably fit.
+const maxRequestBytes = 4 << 20
+
+// Service is the daemon's request plane. Create with New, mount
+// Handler, call Drain before shutting the HTTP server down.
+type Service struct {
+	opts     Options
+	log      *slog.Logger
+	reg      *metrics.Registry
+	tracker  *telemetry.Tracker
+	store    *archive.Store
+	calBlob  []byte
+	results  *resultLRU
+	setups   *setupCache
+	admit    *admitter
+	profiles *profile.Cache
+
+	mu       sync.Mutex
+	flights  map[string]*flight
+	draining bool
+	served   int // completed cold computations, for /progress
+
+	hits     *metrics.Counter
+	storeGet *metrics.Counter
+	misses   *metrics.Counter
+	errors   *metrics.Counter
+	hitLat   *metrics.Histogram
+	coldLat  *metrics.Histogram
+}
+
+// flight is one in-progress computation of a fully identical request:
+// later arrivals wait for the leader's outcome instead of re-entering
+// the admission queue.
+type flight struct {
+	done   chan struct{}
+	body   []byte
+	status int
+	errMsg string
+}
+
+// New builds a Service. The returned service has no listener of its
+// own — mount Handler on an http.Server.
+func New(opts Options) *Service {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Queue <= 0 {
+		opts.Queue = 4 * opts.Workers
+	}
+	if opts.CacheEntries <= 0 {
+		opts.CacheEntries = 512
+	}
+	if opts.SetupEntries <= 0 {
+		opts.SetupEntries = 64
+	}
+	if opts.ProfileEntries <= 0 {
+		opts.ProfileEntries = 128
+	}
+	if opts.Registry == nil {
+		opts.Registry = metrics.NewRegistry()
+	}
+	if opts.Tracker == nil {
+		opts.Tracker = telemetry.NewTracker(opts.Registry)
+	}
+	if opts.Log == nil {
+		opts.Log = slog.New(slog.DiscardHandler)
+	}
+	calBlob := DefaultCalBlob()
+
+	reg := opts.Registry
+	cacheSc := reg.Scope("serve", "cache")
+	latSc := reg.Scope("serve", "latency")
+	s := &Service{
+		opts:     opts,
+		log:      opts.Log,
+		reg:      reg,
+		tracker:  opts.Tracker,
+		store:    opts.Store,
+		calBlob:  calBlob,
+		results:  newResultLRU(opts.CacheEntries),
+		setups:   newSetupCache(opts.SetupEntries, opts.BatchWindow, reg.Scope("serve", "batch")),
+		admit:    newAdmitter(opts.Workers, opts.Queue, reg.Scope("serve", "admit")),
+		profiles: profile.NewBoundedCache(opts.ProfileEntries),
+		flights:  make(map[string]*flight),
+		hits:     cacheSc.Counter("hits"),
+		storeGet: cacheSc.Counter("store_hits"),
+		misses:   cacheSc.Counter("misses"),
+		errors:   reg.Scope("serve").Counter("errors"),
+		hitLat:   latSc.Histogram("hit_sec", metrics.DurationBuckets),
+		coldLat:  latSc.Histogram("cold_sec", metrics.DurationBuckets),
+	}
+	return s
+}
+
+// Registry returns the service's metrics registry.
+func (s *Service) Registry() *metrics.Registry { return s.reg }
+
+// Handler returns the daemon mux: /synth plus the telemetry plane
+// (/metrics, /healthz, /progress, /debug/pprof) at the root.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/synth", s.handleSynth)
+	mux.Handle("/", telemetry.NewHandler(telemetry.Options{
+		Registry: s.reg,
+		Tracker:  s.tracker,
+		Log:      s.log,
+		Gather:   s.gather,
+	}))
+	return mux
+}
+
+// gather refreshes derived gauges before each /metrics snapshot. It
+// only reads cheap state (an LRU length, a directory listing) — a
+// scrape must never block request handling.
+func (s *Service) gather(reg *metrics.Registry) {
+	reg.Scope("serve", "cache").Gauge("entries").Set(float64(s.results.len()))
+	if s.store != nil {
+		if err := s.store.PublishStats(reg.Scope("archive")); err != nil {
+			s.log.Warn("archive stats unavailable", "err", err)
+		}
+	}
+}
+
+// Drain marks the service as shutting down: new /synth requests get
+// 503 while in-flight ones finish (the http.Server.Shutdown the caller
+// runs next waits for those).
+func (s *Service) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.log.Info("serve draining: rejecting new synthesis requests")
+}
+
+// CacheStats returns the request counters (for tests and the CLI's
+// shutdown summary).
+func (s *Service) CacheStats() (hits, storeHits, misses uint64) {
+	return s.hits.Value(), s.storeGet.Value(), s.misses.Value()
+}
+
+func (s *Service) handleSynth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		httpError(w, http.StatusMethodNotAllowed, "POST a synthesis request to /synth")
+		return
+	}
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	c, err := Canonicalize(req, s.calBlob)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	start := time.Now()
+	if body, ok := s.results.get(c.Key); ok {
+		s.hits.Inc()
+		s.hitLat.Observe(time.Since(start).Seconds())
+		s.writeReport(w, c, body, "hit")
+		return
+	}
+	if body, ok := s.storeProbe(c); ok {
+		s.storeGet.Inc()
+		s.results.put(c.Key, body)
+		s.hitLat.Observe(time.Since(start).Seconds())
+		s.writeReport(w, c, body, "store")
+		return
+	}
+	s.misses.Inc()
+
+	// Identical concurrent requests coalesce: one leader computes,
+	// joiners wait outside the admission queue (they consume no worker
+	// or queue slot).
+	f, leader := s.joinFlight(c.Key)
+	if !leader {
+		<-f.done
+		if f.status != http.StatusOK {
+			if f.status == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", "1")
+			}
+			httpError(w, f.status, f.errMsg)
+			return
+		}
+		s.coldLat.Observe(time.Since(start).Seconds())
+		s.writeReport(w, c, f.body, "coalesced")
+		return
+	}
+	defer s.finishFlight(c.Key, f)
+
+	release, err := s.admit.acquire(r.Context())
+	if err != nil {
+		f.status = statusForAdmit(err)
+		f.errMsg = err.Error()
+		if f.status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		httpError(w, f.status, f.errMsg)
+		return
+	}
+	defer release()
+
+	body, status, errMsg := s.compute(c)
+	f.body, f.status, f.errMsg = body, status, errMsg
+	if status != http.StatusOK {
+		s.errors.Inc()
+		s.log.Warn("synthesis request failed", "key", c.Key, "status", status, "err", errMsg)
+		httpError(w, status, errMsg)
+		return
+	}
+	s.coldLat.Observe(time.Since(start).Seconds())
+	s.writeReport(w, c, body, "cold")
+}
+
+// storeProbe checks the durable tier for a cached response. Store
+// trouble degrades to a miss — the daemon must keep serving when its
+// disk cache does not.
+func (s *Service) storeProbe(c *Canonical) ([]byte, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	rec, ok, err := s.store.Get(c.RunID)
+	if err != nil {
+		s.log.Warn("store probe failed", "run_id", c.RunID, "err", err)
+		return nil, false
+	}
+	if !ok || rec.Serve == nil || rec.Serve.Key != c.Key {
+		return nil, false
+	}
+	return rec.Serve.Body, true
+}
+
+// compute runs the cold path: prepare (batched/memoized), simulate,
+// render, persist. It returns the response body and an HTTP status —
+// 422 for requests that are well-formed but uncomputable (assembly
+// that does not parse, synthesis constraints with no feasible
+// encoding).
+func (s *Service) compute(c *Canonical) (body []byte, status int, errMsg string) {
+	setup, err := s.setups.get(c.SetupKey, func() (*sim.Setup, error) {
+		return c.Prepare(s.profiles, s.log)
+	})
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err.Error()
+	}
+	body, rep, err := c.Evaluate(setup)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err.Error()
+	}
+
+	if s.store != nil {
+		reqBlob, _ := json.Marshal(c.Req)
+		rec := archive.FromServe(c.Req.Scale, c.Key, reqBlob, c.Req.Sampled, body)
+		if _, err := s.store.Save(rec); err != nil {
+			s.log.Warn("persisting response failed", "run_id", c.RunID, "err", err)
+		}
+	}
+	s.results.put(c.Key, body)
+	s.publishProgress(rep)
+	return body, http.StatusOK, ""
+}
+
+// publishProgress feeds the telemetry tracker one event per completed
+// cold computation, so /progress (and its SSE stream) shows the
+// daemon's work live.
+func (s *Service) publishProgress(rep *Report) {
+	s.mu.Lock()
+	s.served++
+	n := s.served
+	s.mu.Unlock()
+	s.tracker.Publish(experiments.ProgressEvent{
+		Kernel:    rep.Program.Name,
+		Done:      n,
+		Total:     n,
+		DynInstrs: rep.Program.DynInstrs,
+	})
+}
+
+func (s *Service) joinFlight(key string) (*flight, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.flights[key]; ok {
+		return f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	return f, true
+}
+
+func (s *Service) finishFlight(key string, f *flight) {
+	s.mu.Lock()
+	delete(s.flights, key)
+	s.mu.Unlock()
+	close(f.done)
+}
+
+func (s *Service) writeReport(w http.ResponseWriter, c *Canonical, body []byte, tier string) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Powerfits-Cache", tier)
+	h.Set("X-Powerfits-Run", c.RunID)
+	w.Write(body)
+}
+
+func statusForAdmit(err error) int {
+	if errors.Is(err, errBusy) {
+		return http.StatusTooManyRequests
+	}
+	// The client went away while queued; 503 is the conventional
+	// "not processed" answer for the rare case the write still lands.
+	return http.StatusServiceUnavailable
+}
+
+// httpError writes a small JSON error document.
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	blob, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{msg})
+	w.Write(append(blob, '\n'))
+}

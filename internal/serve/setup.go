@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"powerfits/internal/metrics"
+	"powerfits/internal/sim"
+)
+
+// setupCache coalesces and memoizes preparations. Concurrent requests
+// sharing an image identity (program × scale × synthesis options)
+// single-flight onto one prepare: the first arrival leads, everyone
+// else joins and waits. A positive batch window makes the leader hold
+// the prepare open briefly so near-simultaneous requests land in the
+// same flight even when they don't arrive in the same instant —
+// profitable because a prepare costs milliseconds to seconds while the
+// window costs single-digit milliseconds. Completed setups stay in a
+// bounded LRU (they are immutable and shared read-only, the
+// sim.Prepare contract), so a popular image pays preparation once.
+type setupCache struct {
+	mu      sync.Mutex
+	entries map[string]*setupEntry
+	order   *list.List // completed entries, most recently used first
+	limit   int
+	window  time.Duration
+
+	leaders *metrics.Counter // serve/batch/leaders: prepares actually run
+	joined  *metrics.Counter // serve/batch/joined: requests that shared an in-flight prepare
+	memoHit *metrics.Counter // serve/batch/memo_hits: requests served a completed setup
+}
+
+type setupEntry struct {
+	key   string
+	ready chan struct{}
+	setup *sim.Setup
+	err   error
+	elem  *list.Element // nil while in flight
+}
+
+func newSetupCache(limit int, window time.Duration, sc metrics.Scope) *setupCache {
+	return &setupCache{
+		entries: make(map[string]*setupEntry),
+		order:   list.New(),
+		limit:   limit,
+		window:  window,
+		leaders: sc.Counter("leaders"),
+		joined:  sc.Counter("joined"),
+		memoHit: sc.Counter("memo_hits"),
+	}
+}
+
+// get returns the prepared setup for key, running build at most once
+// per flight. Errors are not memoized: a failed prepare clears the
+// entry so the next request retries (user assembly that fails to parse
+// is rejected per request, never poisoning the cache).
+func (sc *setupCache) get(key string, build func() (*sim.Setup, error)) (*sim.Setup, error) {
+	sc.mu.Lock()
+	if e, ok := sc.entries[key]; ok {
+		if e.elem != nil {
+			sc.order.MoveToFront(e.elem)
+			sc.memoHit.Inc()
+		} else {
+			sc.joined.Inc()
+		}
+		sc.mu.Unlock()
+		<-e.ready
+		return e.setup, e.err
+	}
+	e := &setupEntry{key: key, ready: make(chan struct{})}
+	sc.entries[key] = e
+	sc.leaders.Inc()
+	sc.mu.Unlock()
+
+	// The batch window: joiners arriving during the sleep attach to
+	// this flight instead of (after this prepare completes and ages
+	// out) paying their own.
+	if sc.window > 0 {
+		time.Sleep(sc.window)
+	}
+	e.setup, e.err = build()
+	close(e.ready)
+
+	sc.mu.Lock()
+	if e.err != nil {
+		delete(sc.entries, key)
+	} else {
+		e.elem = sc.order.PushFront(e)
+		for sc.order.Len() > sc.limit {
+			oldest := sc.order.Back()
+			delete(sc.entries, oldest.Value.(*setupEntry).key)
+			sc.order.Remove(oldest)
+		}
+	}
+	sc.mu.Unlock()
+	return e.setup, e.err
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"powerfits/internal/cache"
 	"powerfits/internal/cpu"
@@ -208,6 +209,39 @@ type sampleState struct {
 	energyRatios []float64
 }
 
+// samplePool recycles sampleStates (and the ratio slices they carry)
+// across sampled runs. A one-shot CLI run never notices, but the serve
+// hot path issues one RunSampled per request per configuration, and
+// without the pool each pays the scratch allocations anew.
+var samplePool = sync.Pool{New: func() any { return new(sampleState) }}
+
+// newSampleState checks a recycled (or fresh) sampleState out of the
+// pool, bound to this run's cache and geometry, with ratio capacity of
+// at least hint.
+func newSampleState(c *cache.Cache, lineBytes int, hint int) *sampleState {
+	st := samplePool.Get().(*sampleState)
+	st.c = c
+	st.lineMask = ^uint32(lineBytes - 1)
+	st.lineBytes = uint32(lineBytes)
+	st.cov = [4]covRange{}
+	st.covIdx = 0
+	if cap(st.cycleRatios) < hint {
+		st.cycleRatios = make([]float64, 0, hint)
+		st.energyRatios = make([]float64, 0, hint)
+	} else {
+		st.cycleRatios = st.cycleRatios[:0]
+		st.energyRatios = st.energyRatios[:0]
+	}
+	return st
+}
+
+// release returns the state to the pool. The cache reference is
+// dropped so a pooled state never pins a dead run's cache arrays.
+func (st *sampleState) release() {
+	st.c = nil
+	samplePool.Put(st)
+}
+
 // warm is the fast-forward's fetch witness: functional cache warming.
 // Fast-forwarded code still touches its I-cache lines (without charging
 // time or energy), so each measured window opens on the cache contents
@@ -305,17 +339,14 @@ func (s *Setup) runSampled(cfg Config, cal power.Calibration, opt SampleOptions,
 	boundary(tracing.WindowHead)
 
 	ff := opt.PeriodInstrs - opt.WarmupInstrs - opt.WindowInstrs
-	// One allocation for all per-window scratch: the warm-cover memo and
-	// the ratio series, the latter sized from the profiled dynamic
-	// instruction count (a hint — the FITS stream may run slightly
-	// longer or shorter than the profiled ARM one).
-	st := &sampleState{
-		c:        c,
-		lineMask: ^uint32(cfg.Cache.LineBytes - 1), lineBytes: uint32(cfg.Cache.LineBytes),
-	}
+	// Pooled per-window scratch: the warm-cover memo and the ratio
+	// series, the latter sized from the profiled dynamic instruction
+	// count (a hint — the FITS stream may run slightly longer or
+	// shorter than the profiled ARM one). The deferred release runs
+	// after the SampleStats below has consumed the ratio series.
 	hint := int(s.Profile.TotalDyn/opt.PeriodInstrs) + 4
-	st.cycleRatios = make([]float64, 0, hint)
-	st.energyRatios = make([]float64, 0, hint)
+	st := newSampleState(c, cfg.Cache.LineBytes, hint)
+	defer st.release()
 	warm := st.warm // bind the method value once, not per fast-forward
 	var wsum sampleSnap
 	detailed := head.instrs

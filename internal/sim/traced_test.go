@@ -209,12 +209,13 @@ func TestSampledAllocsPinned(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	// The budget is the measured steady state (≈22: machine, cache,
-	// meter, pipeline run, scratch, result) plus a little slack — far
-	// below one allocation per window, the regression this test exists
-	// to catch.
-	if allocs > 24 {
-		t.Errorf("sampled run costs %v allocs, want ≤ 24", allocs)
+	// The budget is the measured steady state (≈21: machine, cache,
+	// meter, pipeline run, result — the sampleState scratch and ratio
+	// series now come from samplePool) plus a little slack for pool
+	// evictions at a GC boundary — far below one allocation per window,
+	// the regression this test exists to catch.
+	if allocs > 23 {
+		t.Errorf("sampled run costs %v allocs, want ≤ 23", allocs)
 	}
 }
 

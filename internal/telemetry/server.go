@@ -48,6 +48,19 @@ type Server struct {
 	tracker *Tracker
 }
 
+// NewHandler builds the telemetry endpoint mux without binding a
+// listener, for embedding inside another server's mux — `powerfits
+// serve` mounts it at "/" so the daemon's /metrics, /healthz,
+// /progress and pprof endpoints are the same code path as the
+// standalone debug server.
+func NewHandler(opts Options) http.Handler {
+	s := &Server{opts: opts, started: time.Now(), tracker: opts.Tracker}
+	if s.tracker == nil {
+		s.tracker = NewTracker(nil)
+	}
+	return s.Handler()
+}
+
 // Serve binds addr (host:port; port 0 picks an ephemeral port) and
 // starts serving in a background goroutine.
 func Serve(addr string, opts Options) (*Server, error) {
